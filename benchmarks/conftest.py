@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Each benchmark runs its experiment once (rounds=1) — these are
+experiment-regeneration harnesses, not micro-benchmarks — prints the same
+rows the paper's figure/table reports, and asserts the qualitative shape.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark clock and return its
+    result (pytest-benchmark re-runs callables by default; experiments are
+    deterministic and expensive, one round is the right cost/precision)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

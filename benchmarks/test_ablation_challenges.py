@@ -1,0 +1,37 @@
+"""Ablation: the §6 "Asymmetric Node Selection and Long Hop" challenges,
+quantified on the generated underlay."""
+
+from repro.metrics import (
+    hop_delay_correlation,
+    knn_asymmetry,
+    long_hop_fraction,
+)
+from repro.underlay import Underlay, UnderlayConfig
+
+
+def test_ablation_selection_challenges(once):
+    underlay = Underlay.generate(UnderlayConfig(n_hosts=100, seed=14))
+
+    def run():
+        rtt = underlay.rtt_matrix()
+        return {
+            "knn_asymmetry_k3": knn_asymmetry(rtt, k=3),
+            "knn_asymmetry_k8": knn_asymmetry(rtt, k=8),
+            "hop_delay_spearman": hop_delay_correlation(underlay),
+            "long_hop_1.5x": long_hop_fraction(underlay, delay_factor=1.5),
+            "long_hop_2x": long_hop_fraction(underlay, delay_factor=2.0),
+        }
+
+    row = once(run)
+    print()
+    for k, v in row.items():
+        print(f"  {k:22s} {v:.3f}")
+    # asymmetric node selection *occurs*: latency k-NN is not mutual
+    assert row["knn_asymmetry_k3"] > 0.1
+    # larger neighbour sets soften (but don't remove) the asymmetry
+    assert row["knn_asymmetry_k8"] <= row["knn_asymmetry_k3"] + 0.05
+    # hop count carries real but imperfect signal about delay ...
+    assert 0.2 < row["hop_delay_spearman"] < 0.95
+    # ... so hop-based systems pay the long-hop penalty for some peers
+    assert row["long_hop_1.5x"] > 0.0
+    assert row["long_hop_2x"] <= row["long_hop_1.5x"]

@@ -1,0 +1,62 @@
+"""Ablation: PNS / PR in Kademlia (DESIGN.md §4, Kaune et al. [17]).
+
+Grid over the two proximity techniques; reports lookup latency, RPC cost
+and routing-table contact RTT, plus the inter-AS traffic the DHT control
+plane puts on the underlay.
+"""
+
+from repro.overlay.kademlia import KademliaConfig, KademliaNetwork
+from repro.sim import Simulation
+from repro.underlay import Underlay, UnderlayConfig
+
+
+def _run_arm(pns: bool, pr: bool, seed: int = 6):
+    underlay = Underlay.generate(UnderlayConfig(n_hosts=100, seed=seed))
+    sim = Simulation()
+    bus, acct = underlay.message_bus(sim)
+    net = KademliaNetwork(
+        underlay, sim, bus,
+        config=KademliaConfig(proximity_buckets=pns, proximity_routing=pr),
+        rng=3,
+    )
+    net.add_all_hosts()
+    net.bootstrap_all()
+    sim.run(until=120_000)
+    stats = net.run_value_workload(40, 120)
+    return {
+        "pns": pns,
+        "pr": pr,
+        "success": stats.success_rate,
+        "median_lookup_ms": stats.median_latency_ms,
+        "mean_rpcs": stats.mean_rpcs,
+        "contact_rtt_ms": net.mean_contact_rtt(),
+        "transit_bytes": acct.summary.transit_bytes,
+    }
+
+
+def test_ablation_kademlia_proximity(once):
+    def run_grid():
+        return [
+            _run_arm(pns, pr)
+            for pns, pr in ((False, False), (True, False), (False, True), (True, True))
+        ]
+
+    rows = once(run_grid)
+    print()
+    for r in rows:
+        print(
+            f"PNS={str(r['pns']):5s} PR={str(r['pr']):5s} "
+            f"succ={r['success']:.2f} lookup={r['median_lookup_ms']:.0f}ms "
+            f"rpcs={r['mean_rpcs']:.1f} contactRTT={r['contact_rtt_ms']:.0f}ms "
+            f"transit={r['transit_bytes']}"
+        )
+    base = rows[0]
+    pns = rows[1]
+    both = rows[3]
+    # correctness is never sacrificed
+    assert all(r["success"] >= 0.95 for r in rows)
+    # PNS lowers both the retained-contact RTT and lookup latency
+    assert pns["contact_rtt_ms"] < 0.9 * base["contact_rtt_ms"]
+    assert pns["median_lookup_ms"] < base["median_lookup_ms"]
+    # combining PR keeps contact RTT low
+    assert both["contact_rtt_ms"] < 0.9 * base["contact_rtt_ms"]

@@ -1,0 +1,15 @@
+"""FIG1 bench: regenerate the Internet-hierarchy structure table."""
+
+from repro.experiments import print_table, run_fig1
+
+
+def test_fig1_hierarchy(once):
+    result = once(run_fig1)
+    print_table(result)
+    for row in result.rows:
+        assert row["money_flows_up"]
+        assert row["peering_same_tier"]
+        assert row["all_have_providers"]
+        # AS-path lengths in the realistic 2-5 hop band
+        assert 1.5 <= row["mean_stub_hops"] <= 5.0
+        assert row["max_stub_hops"] <= 7

@@ -1,0 +1,32 @@
+"""FIG2 bench: regenerate the transit-vs-peering cost curves."""
+
+import numpy as np
+
+from repro.experiments import print_table, run_fig2, run_locality_savings
+
+
+def test_fig2_cost_relations(once):
+    result = once(run_fig2)
+    print_table(result)
+    transit_unit = result.column("transit_per_mbps_usd")
+    peering_unit = result.column("peering_per_mbps_usd")
+    traffic = result.column("traffic_mbps")
+    # paper shape: transit cost/Mbps ~ constant
+    assert max(transit_unit) == min(transit_unit)
+    # paper shape: peering cost/Mbps inversely proportional to traffic
+    products = [u * t for u, t in zip(peering_unit, traffic)]
+    assert np.allclose(products, products[0])
+    # total transit cost proportional to traffic
+    totals = result.column("transit_total_usd")
+    assert np.allclose(
+        [c / t for c, t in zip(totals, traffic)], totals[0] / traffic[0]
+    )
+
+
+def test_fig2b_locality_savings(once):
+    result = once(run_locality_savings)
+    print_table(result)
+    bills = result.column("monthly_bill_usd")
+    assert bills[0] > bills[-1]
+    # full-locality bill is dominated by the flat peering cost
+    assert bills[-1] < 0.3 * bills[0]

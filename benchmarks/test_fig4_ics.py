@@ -1,0 +1,48 @@
+"""FIG4 bench: ICS worked examples (exact) + the embedding comparison."""
+
+import pytest
+
+from repro.experiments import print_table, run_fig4_embedding, run_fig4_examples
+
+
+def test_fig4a_ics_paper_examples(once):
+    result = once(run_fig4_examples)
+    print_table(result)
+    for row in result.rows:
+        # paper prints truncated values; all must match at print precision
+        assert row["measured"] == pytest.approx(row["paper"], abs=1e-2), row
+
+
+def test_fig4c_dimension_sweep(once):
+    from repro.experiments import run_fig4_dimension_sweep
+
+    result = once(run_fig4_dimension_sweep)
+    print_table(result)
+    errs = result.column("median_rel_err")
+    dims = result.column("dim")
+    cv = result.column("cumulative_variation")
+    # error shrinks (weakly) with dimension and plateaus at the top end
+    assert errs[-1] <= errs[0]
+    assert errs[-1] < 0.5
+    assert abs(errs[-1] - errs[-2]) < 0.05  # the plateau
+    # cumulative variation is monotone and reaches 1 at full dimension
+    assert cv == sorted(cv)
+    assert cv[-1] == 1.0
+    assert dims[-1] > dims[0]
+
+
+def test_fig4b_embedding_comparison(once):
+    result = once(run_fig4_embedding, n_hosts=60, n_beacons=12, seed=33)
+    print_table(result)
+    rows = {r["system"]: r for r in result.rows}
+    # all three predictors produce usable estimates
+    for r in result.rows:
+        assert r["median_rel_err"] < 0.8
+        assert r["stretch"] >= 1.0
+    # Vivaldi (continuous refinement) beats the one-shot landmark methods,
+    # at the cost of many more probes
+    assert rows["Vivaldi(3D+h)"]["median_rel_err"] < rows["ICS"]["median_rel_err"]
+    assert (
+        rows["Vivaldi(3D+h)"]["probes_per_host"]
+        > rows["ICS"]["probes_per_host"]
+    )

@@ -1,0 +1,36 @@
+"""FIG6 bench: topology shape under uniform vs biased neighbor selection,
+plus the external-link-floor ablation (§5.4 churn-robustness question)."""
+
+from repro.experiments import print_table, run_fig6
+
+
+def test_fig6_biased_neighbor_selection(once, tmp_path):
+    result = once(
+        run_fig6, n_hosts=120, seed=17,
+        dot_path_prefix=str(tmp_path / "fig6"),
+    )
+    print_table(result)
+    # the two Figure 6 panels were rendered as Graphviz files
+    assert (tmp_path / "fig6_uniform.dot").exists()
+    assert (tmp_path / "fig6_biased.dot").exists()
+    uni = result.row_by("arm", "uniform_random")
+    bia = result.row_by("arm", "biased")
+    ablate = result.row_by("arm", "biased_no_floor")
+
+    # Figure 6(a): uniform selection ignores AS boundaries
+    assert uni["intra_as_edge_fraction"] < 0.15
+    assert uni["as_modularity"] < 0.1
+
+    # Figure 6(b): biased selection clusters along AS boundaries ...
+    assert bia["intra_as_edge_fraction"] > 0.5
+    assert bia["as_modularity"] > 0.4
+    # ... with far fewer inter-AS links, yet still connected
+    assert bia["inter_as_edges"] < 0.5 * uni["inter_as_edges"]
+    assert bia["inter_as_edges"] >= bia["min_inter_as_edges"]
+    assert bia["connected"] == 1.0
+
+    # ablation: dropping the external floor tightens clustering further
+    # but degrades robustness — with this seed it outright partitions the
+    # network, which is exactly the §5.4 risk the floor exists to prevent
+    assert ablate["intra_as_edge_fraction"] >= bia["intra_as_edge_fraction"]
+    assert ablate["partition_risk"] >= bia["partition_risk"]

@@ -1,0 +1,40 @@
+"""FRAMEWORK bench: the §7 architecture claim — composite QoS profiles
+blend the benefits of the single information types they weight."""
+
+from repro.experiments import print_table
+from repro.experiments.framework_composite import run_framework_composite
+
+
+def test_framework_composite(once):
+    result = once(run_framework_composite)
+    print_table(result)
+    rows = {r["arm"]: r for r in result.rows}
+    rand = rows["random"]
+
+    # each single-information arm wins its own axis vs random
+    assert rows["only:latency"]["neighbor_rtt_ms"] < 0.8 * rand["neighbor_rtt_ms"]
+    assert rows["only:isp-location"]["intra_as_edges"] > 3 * rand["intra_as_edges"]
+    assert (
+        rows["only:peer-resources"]["neighbor_session_h"]
+        > 1.2 * rand["neighbor_session_h"]
+    )
+
+    # composites blend: file-sharing (ISP 0.6 + resources 0.4) beats random
+    # on BOTH its axes simultaneously — which no single-info arm guarantees
+    fs = rows["profile:file-sharing"]
+    assert fs["intra_as_edges"] > 2 * rand["intra_as_edges"]
+    assert fs["neighbor_session_h"] > 1.15 * rand["neighbor_session_h"]
+    # and it is more stable than pure ISP-location while staying far more
+    # local than pure resources
+    assert fs["neighbor_session_h"] > rows["only:isp-location"]["neighbor_session_h"]
+    assert fs["intra_as_edges"] > 2 * rows["only:peer-resources"]["intra_as_edges"]
+
+    # real-time profile (latency 0.8 + ISP 0.2) ~matches pure latency on RTT
+    rt = rows["profile:real-time-communication"]
+    assert rt["neighbor_rtt_ms"] < 1.1 * rows["only:latency"]["neighbor_rtt_ms"]
+
+    # hybrid-directory (resources 0.6 + latency 0.4): stable AND faster
+    # than pure resources
+    hd = rows["profile:hybrid-directory"]
+    assert hd["neighbor_session_h"] > 1.25 * rand["neighbor_session_h"]
+    assert hd["neighbor_rtt_ms"] < rows["only:peer-resources"]["neighbor_rtt_ms"]

@@ -1,0 +1,18 @@
+"""ISPBILL bench: end-to-end economics — workload → transit sampling →
+95th-percentile billing — with and without the oracle (§2.1, §5.2)."""
+
+from repro.experiments import print_table
+from repro.experiments.isp_bill import run_isp_bill
+
+
+def test_isp_bill(once):
+    result = once(run_isp_bill)
+    print_table(result)
+    unb = result.row_by("arm", "unbiased")
+    bia = result.row_by("arm", "biased_both_stages")
+    # the workload localises ...
+    assert bia["intra_as_fraction"] > 3 * unb["intra_as_fraction"]
+    assert bia["total_transit_mb"] < 0.5 * unb["total_transit_mb"]
+    # ... and the sampled-peak bills of local ISPs follow
+    assert bia["mean_stub_bill_usd"] < 0.6 * unb["mean_stub_bill_usd"]
+    assert bia["max_stub_bill_usd"] < unb["max_stub_bill_usd"]

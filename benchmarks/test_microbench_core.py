@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the hot substrate paths.
+
+Unlike the experiment benches (rounds=1), these run under the normal
+pytest-benchmark loop and exist to catch performance regressions in the
+kernels everything else sits on: event-engine throughput, all-pairs
+latency assembly (vectorised NumPy), valley-free BFS, and XOR-metric
+sorting.  Assertions are loose sanity floors, not tuning targets.
+"""
+
+import numpy as np
+
+from repro.overlay.kademlia import random_id, sort_by_distance, xor_distance
+from repro.sim import Simulation
+from repro.underlay import (
+    ASRouting,
+    HostFactory,
+    LatencyModel,
+    TopologyConfig,
+    generate_topology,
+)
+
+
+def test_event_engine_throughput(benchmark):
+    def run():
+        sim = Simulation()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+
+        for i in range(10_000):
+            sim.schedule(float(i % 100), tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_latency_matrix_vectorised(benchmark):
+    topo = generate_topology(TopologyConfig(seed=3))
+    routing = ASRouting(topo)
+    model = LatencyModel(topo, routing)
+    hosts = HostFactory(topo, rng=1).create_hosts(300)
+
+    mat = benchmark(model.latency_matrix, hosts)
+    assert mat.shape == (300, 300)
+    assert np.isfinite(mat).all()
+
+
+def test_valley_free_all_pairs(benchmark):
+    topo = generate_topology(
+        TopologyConfig(n_tier1=4, n_tier2=12, n_stub=40, seed=5)
+    )
+
+    def run():
+        return ASRouting(topo).hop_matrix()
+
+    mat = benchmark(run)
+    assert (mat >= 0).all()
+
+
+def test_xor_sort_large(benchmark):
+    rng = np.random.default_rng(0)
+    ids = [random_id(rng) for _ in range(2_000)]
+    target = random_id(rng)
+
+    out = benchmark(sort_by_distance, ids, target)
+    assert len(out) == 2_000
+    assert xor_distance(out[0], target) <= xor_distance(out[-1], target)

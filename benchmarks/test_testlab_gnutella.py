@@ -1,0 +1,25 @@
+"""TESTLAB bench: the 45-node, 5-AS controlled experiments of [1] §5."""
+
+from repro.experiments import TESTLAB_TOPOLOGIES, print_table, run_testlab
+
+
+def test_testlab_all_topologies(once):
+    result = once(run_testlab, seed=5)
+    print_table(result)
+    by_key = {
+        (r["topology"], r["scheme"], r["policy"]): r for r in result.rows
+    }
+    assert len(by_key) == len(TESTLAB_TOPOLOGIES) * 2 * 2
+    for kind in TESTLAB_TOPOLOGIES:
+        for scheme in ("uniform", "variable"):
+            unb = by_key[(kind, scheme, "unbiased")]
+            bia = by_key[(kind, scheme, "biased")]
+            # the paper's headline: no additional search failures under bias
+            assert unb["success"] == 1.0
+            assert bia["success"] == 1.0
+            # oracle reduces query traffic — at 45 nodes the flood
+            # saturates the mesh, so allow a small tolerance (the paper's
+            # own testlab reductions were modest: 1989 vs 1973 on star)
+            assert bia["query"] <= 1.05 * unb["query"]
+            # ... while tripling connection locality
+            assert bia["intra_as_links"] > 2 * unb["intra_as_links"]

@@ -1,0 +1,55 @@
+"""P2P-TV: resource-aware chunk scheduling under tight capacity
+(§2.3 / da Silva et al. [6]).
+
+A live stream is distributed through a mesh of 60 viewers while the
+source injects only three copies of each chunk.  As the stream bitrate
+approaches the swarm's aggregate upload capacity, random scheduling
+starts missing playback deadlines; bandwidth-aware scheduling — feed the
+strongest peers first so they amplify the swarm — keeps the stream
+watchable at bitrates where random scheduling has already collapsed.
+
+Run:  python examples/p2p_tv.py
+"""
+
+from repro import Underlay, UnderlayConfig
+from repro.overlay.streaming import (
+    SchedulerPolicy,
+    StreamConfig,
+    StreamingSwarm,
+)
+
+
+def main() -> None:
+    underlay = Underlay.generate(UnderlayConfig(n_hosts=80, seed=14))
+    ids = underlay.host_ids()
+    source = max(
+        underlay.hosts, key=lambda h: h.resources.bandwidth_up_kbps
+    ).host_id
+    viewers = [i for i in ids if i != source][:60]
+    mean_up = sum(
+        underlay.host(v).resources.bandwidth_up_kbps for v in viewers
+    ) / len(viewers)
+    print(f"60 viewers, mean upstream {mean_up:,.0f} kbps, "
+          f"source injects 3 copies/chunk\n")
+    print(f"{'bitrate':>8s}  {'scheduler':16s} {'continuity':>10s} "
+          f"{'worst 10%':>10s} {'startup':>8s}")
+    for bitrate in (600.0, 1200.0, 1800.0, 2400.0):
+        for policy in (SchedulerPolicy.RANDOM, SchedulerPolicy.BANDWIDTH_AWARE):
+            swarm = StreamingSwarm(
+                underlay, source, viewers,
+                config=StreamConfig(bitrate_kbps=bitrate, source_copies=3),
+                policy=policy, rng=3,
+            )
+            rep = swarm.run(150)
+            print(
+                f"{bitrate:7.0f}k  {policy.value:16s} "
+                f"{rep.mean_continuity:9.1%} {rep.p10_continuity:9.1%} "
+                f"{rep.mean_startup_intervals:7.1f}s"
+            )
+        print()
+    print("the capable peers' upstream is the swarm's real capacity — "
+          "knowing peer resources (§2.3) is what unlocks it")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Resource-aware super-peer election for a hybrid directory overlay
+(§2.3, SkyEye.KOM [11], bandwidth-aware roles [6]).
+
+The SkyEye information-management overlay aggregates every peer's
+capacity vector up a k-ary tree; the root view elects the super-peers.
+We compare against random election on search latency, super-peer session
+stability and upstream capacity — the "appropriate nodes take the right
+roles" claim, measured.
+
+Run:  python examples/superpeer_directory.py
+"""
+
+from repro import Underlay, UnderlayConfig
+from repro.collection import SkyEyeOverlay
+from repro.overlay.superpeer import ElectionPolicy, SuperPeerOverlay
+
+
+def main() -> None:
+    underlay = Underlay.generate(UnderlayConfig(n_hosts=240, seed=17))
+
+    # the collection step: one SkyEye aggregation round
+    sky = SkyEyeOverlay(underlay.host_ids(), branching=4, top_k=24)
+    for h in underlay.hosts:
+        sky.report(h.host_id, h.resources)
+    view = sky.run_aggregation_round()
+    print(
+        f"SkyEye root view after one round: {view.count} peers, "
+        f"mean upstream {view.mean('bandwidth_up_kbps'):,.0f} kbps, "
+        f"tree depth {sky.depth()}, "
+        f"{sky.overhead.messages} report messages"
+    )
+
+    print(f"\n{'election':10s} {'search lat':>11s} {'SP session':>11s} "
+          f"{'SP upstream':>12s} {'max load':>9s}")
+    for policy in (ElectionPolicy.RANDOM, ElectionPolicy.CAPACITY):
+        overlay = SuperPeerOverlay(
+            underlay, policy=policy, superpeer_fraction=0.1,
+            max_leaves_per_superpeer=30, rng=3,
+        )
+        overlay.elect(use_skyeye=(policy is ElectionPolicy.CAPACITY))
+        overlay.attach_leaves()
+        rep = overlay.report(n_search_samples=400)
+        print(
+            f"{policy.value:10s} {rep.mean_search_latency_ms:9.0f}ms "
+            f"{rep.mean_superpeer_session_h:10.1f}h "
+            f"{rep.mean_superpeer_up_kbps:10,.0f}k {rep.max_leaf_load:9d}"
+        )
+    print(
+        "\ncapacity election yields stabler, stronger super-peers at "
+        "equal structural load — the §2.3 peer-resources payoff"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment ships setuptools without the ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) cannot build the editable wheel.
+``python setup.py develop`` provides the legacy editable path; regular
+``pip install .`` users are unaffected.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""repro — underlay awareness in P2P systems.
+
+A simulation framework reproducing *"Underlay Awareness in P2P Systems:
+Techniques and Challenges"* (Abboud, Kovacevic, Graffi, Pussep, Steinmetz —
+IPDPS 2009): every surveyed collection technique (Figure 3), every usage
+technique (Table 1), and the experiments behind the paper's figures and
+impact analysis (Figure 2, Figures 5/6, Table 2), on top of a synthetic
+tiered-Internet underlay.
+
+Quickstart::
+
+    from repro import Underlay, UnderlayConfig, UnderlayAwarenessFramework
+    from repro.collection import ISPOracle
+    from repro.core import REAL_TIME
+
+    underlay = Underlay.generate(UnderlayConfig(n_hosts=100, seed=42))
+    fw = UnderlayAwarenessFramework(underlay)
+    fw.use_oracle(ISPOracle(underlay))
+    fw.use_true_latency()
+    ids = underlay.host_ids()
+    neighbors = fw.select_neighbors(ids[0], ids[1:], k=8, profile=REAL_TIME)
+
+See DESIGN.md for the per-experiment index and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from repro.core.framework import UnderlayAwarenessFramework
+from repro.sim.engine import Simulation
+from repro.underlay.network import Underlay, UnderlayConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulation",
+    "Underlay",
+    "UnderlayAwarenessFramework",
+    "UnderlayConfig",
+    "__version__",
+]

@@ -1,0 +1,58 @@
+"""Collection of underlay information (§3, Figure 3).
+
+One service per leaf of the Figure 3 taxonomy:
+
+- ISP-location: :class:`IPToISPMapping`, :class:`ISPOracle`,
+  :class:`SyntheticCDN` (Ono-style inference).
+- Latency: :class:`PingService` / :class:`TracerouteService`
+  (explicit measurement); prediction lives in :mod:`repro.coords`.
+- Geolocation: :class:`GPSService`, :class:`IPToLocationMapping`.
+- Peer resources: :class:`SkyEyeOverlay`.
+"""
+
+from repro.collection.base import (
+    TAXONOMY,
+    CollectionMethod,
+    InfoSource,
+    OverheadCounter,
+    UnderlayInfoType,
+)
+from repro.collection.cdn import EdgeServer, SyntheticCDN
+from repro.collection.coordinate_service import VivaldiGossipService
+from repro.collection.gps import GPSService
+from repro.collection.group_measurement import GroupMeasurement
+from repro.collection.ip_mapping import IPToISPMapping, IPToLocationMapping
+from repro.collection.measurement import (
+    PING_BYTES,
+    PingService,
+    TracerouteHop,
+    TracerouteService,
+)
+from repro.collection.oracle import ISPOracle, OraclePolicy
+from repro.collection.p4p import P4PPolicy, P4PService
+from repro.collection.skyeye import AggregateStats, SkyEyeOverlay
+
+__all__ = [
+    "AggregateStats",
+    "CollectionMethod",
+    "EdgeServer",
+    "GPSService",
+    "GroupMeasurement",
+    "IPToISPMapping",
+    "IPToLocationMapping",
+    "ISPOracle",
+    "InfoSource",
+    "OraclePolicy",
+    "OverheadCounter",
+    "P4PPolicy",
+    "P4PService",
+    "PING_BYTES",
+    "PingService",
+    "SkyEyeOverlay",
+    "SyntheticCDN",
+    "TAXONOMY",
+    "TracerouteHop",
+    "TracerouteService",
+    "UnderlayInfoType",
+    "VivaldiGossipService",
+]

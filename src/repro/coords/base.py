@@ -1,0 +1,49 @@
+"""Common interface for network coordinate systems (§3.2 of the survey).
+
+A coordinate system predicts the latency between two arbitrary peers from a
+small number of explicit measurements.  All systems here consume *RTT-like*
+distances (symmetric, non-negative) and expose
+
+- per-node coordinates,
+- an ``estimate(i, j)`` pairwise predictor, and
+- an ``estimated_matrix()`` convenience for evaluation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import CoordinateError
+
+
+def validate_distance_matrix(d: np.ndarray, *, name: str = "distance matrix") -> np.ndarray:
+    """Validate and return a square, non-negative, zero-diagonal matrix."""
+    d = np.asarray(d, dtype=float)
+    if d.ndim != 2 or d.shape[0] != d.shape[1]:
+        raise CoordinateError(f"{name} must be square, got shape {d.shape}")
+    if not np.isfinite(d).all():
+        raise CoordinateError(f"{name} contains non-finite entries")
+    if (d < 0).any():
+        raise CoordinateError(f"{name} contains negative distances")
+    return d
+
+
+class CoordinateSystem(abc.ABC):
+    """Abstract pairwise-latency predictor."""
+
+    @abc.abstractmethod
+    def coordinates(self) -> np.ndarray:
+        """``(n, dim)`` array of node coordinates."""
+
+    @abc.abstractmethod
+    def estimate(self, i: int, j: int) -> float:
+        """Predicted distance between nodes ``i`` and ``j``."""
+
+    def estimated_matrix(self) -> np.ndarray:
+        """All-pairs predicted distances (default: Euclidean on coords)."""
+        coords = self.coordinates()
+        diff = coords[:, None, :] - coords[None, :, :]
+        return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))

@@ -1,0 +1,100 @@
+"""Evaluation metrics for network coordinate systems.
+
+The standard yardsticks from the Vivaldi / GNP / ICS papers:
+
+- **relative error** per pair: ``|predicted − measured| / measured``;
+- **stretch** of neighbour selection: latency of the chosen neighbour over
+  the latency of the true nearest neighbour;
+- **closest-peer accuracy**: how often the predicted nearest node is the
+  true nearest (or within a tolerance band).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.coords.base import validate_distance_matrix
+from repro.errors import CoordinateError
+
+
+@dataclass(frozen=True)
+class EmbeddingReport:
+    """Summary of an embedding's quality: errors, accuracy, stretch."""
+    median_relative_error: float
+    p90_relative_error: float
+    mean_relative_error: float
+    closest_peer_accuracy: float
+    mean_selection_stretch: float
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "median_rel_err": self.median_relative_error,
+            "p90_rel_err": self.p90_relative_error,
+            "mean_rel_err": self.mean_relative_error,
+            "closest_acc": self.closest_peer_accuracy,
+            "stretch": self.mean_selection_stretch,
+        }
+
+
+def relative_errors(predicted: np.ndarray, measured: np.ndarray) -> np.ndarray:
+    """Per-pair relative errors over the strict upper triangle (measured>0)."""
+    predicted = validate_distance_matrix(predicted, name="predicted matrix")
+    measured = validate_distance_matrix(measured, name="measured matrix")
+    if predicted.shape != measured.shape:
+        raise CoordinateError(
+            f"shape mismatch: {predicted.shape} vs {measured.shape}"
+        )
+    iu = np.triu_indices(measured.shape[0], k=1)
+    p = predicted[iu]
+    m = measured[iu]
+    mask = m > 0
+    return np.abs(p[mask] - m[mask]) / m[mask]
+
+
+def closest_peer_accuracy(predicted: np.ndarray, measured: np.ndarray) -> float:
+    """Fraction of nodes whose predicted-nearest peer is the true nearest."""
+    n = measured.shape[0]
+    if n < 2:
+        raise CoordinateError("need at least two nodes")
+    pm = predicted.copy().astype(float)
+    mm = measured.copy().astype(float)
+    np.fill_diagonal(pm, np.inf)
+    np.fill_diagonal(mm, np.inf)
+    return float(np.mean(np.argmin(pm, axis=1) == np.argmin(mm, axis=1)))
+
+
+def selection_stretch(predicted: np.ndarray, measured: np.ndarray) -> float:
+    """Mean ratio measured(predicted-nearest) / measured(true-nearest).
+
+    1.0 means coordinate-guided nearest-neighbour selection is perfect;
+    this is the metric that matters for latency-aware overlays, because
+    peers use coordinates precisely to *choose* neighbours.
+    """
+    n = measured.shape[0]
+    pm = predicted.copy().astype(float)
+    mm = measured.copy().astype(float)
+    np.fill_diagonal(pm, np.inf)
+    np.fill_diagonal(mm, np.inf)
+    chosen = np.argmin(pm, axis=1)
+    best = mm.min(axis=1)
+    actual = mm[np.arange(n), chosen]
+    mask = best > 0
+    if not mask.any():
+        return 1.0
+    return float(np.mean(actual[mask] / best[mask]))
+
+
+def evaluate_embedding(predicted: np.ndarray, measured: np.ndarray) -> EmbeddingReport:
+    """Full report for one coordinate system against ground truth."""
+    errs = relative_errors(predicted, measured)
+    if errs.size == 0:
+        raise CoordinateError("no measurable pairs (all distances zero)")
+    return EmbeddingReport(
+        median_relative_error=float(np.median(errs)),
+        p90_relative_error=float(np.percentile(errs, 90)),
+        mean_relative_error=float(np.mean(errs)),
+        closest_peer_accuracy=closest_peer_accuracy(predicted, measured),
+        mean_selection_stretch=selection_stretch(predicted, measured),
+    )

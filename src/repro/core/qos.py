@@ -1,0 +1,70 @@
+"""Application QoS profiles.
+
+"Different applications have different QoS requirements, and thus make
+use of different underlay information" (§2).  A profile is a weight
+vector over the four information types; the framework turns it into a
+:class:`~repro.core.selection.CompositeSelection`.
+
+The built-in profiles follow the survey's examples: file sharing wants
+ISP locality (cost) and capable sources; real-time communication wants
+latency above all; location-based services want geolocation; hybrid
+directory overlays want stable, strong super-peers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.collection.base import UnderlayInfoType
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class QoSProfile:
+    """Weights over information types (will be normalised downstream)."""
+
+    name: str
+    weights: dict[UnderlayInfoType, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ConfigurationError("profile needs at least one weight")
+        if any(w < 0 for w in self.weights.values()):
+            raise ConfigurationError("weights must be non-negative")
+        if all(w == 0 for w in self.weights.values()):
+            raise ConfigurationError("at least one weight must be positive")
+
+
+FILE_SHARING = QoSProfile(
+    "file-sharing",
+    {
+        UnderlayInfoType.ISP_LOCATION: 0.6,
+        UnderlayInfoType.PEER_RESOURCES: 0.4,
+    },
+)
+
+REAL_TIME = QoSProfile(
+    "real-time-communication",
+    {
+        UnderlayInfoType.LATENCY: 0.8,
+        UnderlayInfoType.ISP_LOCATION: 0.2,
+    },
+)
+
+LOCATION_SERVICES = QoSProfile(
+    "location-based-services",
+    {
+        UnderlayInfoType.GEOLOCATION: 0.8,
+        UnderlayInfoType.LATENCY: 0.2,
+    },
+)
+
+HYBRID_DIRECTORY = QoSProfile(
+    "hybrid-directory",
+    {
+        UnderlayInfoType.PEER_RESOURCES: 0.6,
+        UnderlayInfoType.LATENCY: 0.4,
+    },
+)
+
+BUILTIN_PROFILES = (FILE_SHARING, REAL_TIME, LOCATION_SERVICES, HYBRID_DIRECTORY)

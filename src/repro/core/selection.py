@@ -1,0 +1,208 @@
+"""Neighbor-selection strategies: the *usage* half of underlay awareness.
+
+Every strategy consumes a querying host plus candidate host ids and
+returns the candidates ranked best-first.  Strategies differ only in
+which underlay information they consult — which makes them directly
+pluggable into any overlay's join/neighbor-maintenance path and into the
+framework's composite selector.
+
+Concrete strategies (one per §2 information type, plus the strawman):
+
+- :class:`RandomSelection` — underlay-oblivious baseline;
+- :class:`ISPLocalitySelection` — ISP-location via an oracle or an
+  IP-to-ISP mapping (biased neighbor selection);
+- :class:`LatencySelection` — predicted RTT from a coordinate system or
+  explicit measurement;
+- :class:`GeoSelection` — geographic distance from a geolocation source;
+- :class:`ResourceSelection` — candidate capacity (super-peer affinity);
+- :class:`CompositeSelection` — weighted rank fusion of any of the above,
+  the "different underlay information collected and used together" that
+  the survey's framework vision calls for.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.collection.ip_mapping import IPToISPMapping
+from repro.collection.oracle import ISPOracle
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, ensure_rng
+from repro.underlay.geometry import Position
+from repro.underlay.network import Underlay
+
+
+class NeighborSelection(abc.ABC):
+    """Ranks candidate neighbours for a querying host."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def rank(self, querying_host: int, candidates: Sequence[int]) -> list[int]:
+        """Candidates sorted best-first.  Must be a permutation of the
+        input (deduplicated, order of ties implementation-defined)."""
+
+    def select(
+        self, querying_host: int, candidates: Sequence[int], k: int
+    ) -> list[int]:
+        """Top-``k`` convenience wrapper."""
+        if k < 0:
+            raise ConfigurationError("k must be non-negative")
+        return self.rank(querying_host, candidates)[:k]
+
+
+def _dedup(candidates: Sequence[int]) -> list[int]:
+    seen: set[int] = set()
+    out: list[int] = []
+    for c in candidates:
+        if c not in seen:
+            seen.add(c)
+            out.append(c)
+    return out
+
+
+class RandomSelection(NeighborSelection):
+    """Underlay-oblivious baseline: a seeded random permutation."""
+    name = "random"
+
+    def __init__(self, rng: SeedLike = None) -> None:
+        self._rng = ensure_rng(rng)
+
+    def rank(self, querying_host: int, candidates: Sequence[int]) -> list[int]:
+        cand = _dedup(candidates)
+        perm = self._rng.permutation(len(cand))
+        return [cand[int(i)] for i in perm]
+
+
+class ISPLocalitySelection(NeighborSelection):
+    """Biased neighbor selection via the ISP oracle, or — without ISP
+    cooperation — via a client-side IP-to-ISP mapping (same-AS first,
+    unknown-hop candidates after)."""
+
+    name = "isp-location"
+
+    def __init__(
+        self,
+        underlay: Underlay,
+        *,
+        oracle: Optional[ISPOracle] = None,
+        mapping: Optional[IPToISPMapping] = None,
+    ) -> None:
+        if oracle is None and mapping is None:
+            raise ConfigurationError("need an oracle or an IP-to-ISP mapping")
+        self.underlay = underlay
+        self.oracle = oracle
+        self.mapping = mapping
+
+    def rank(self, querying_host: int, candidates: Sequence[int]) -> list[int]:
+        cand = _dedup(candidates)
+        if self.oracle is not None:
+            return self.oracle.rank(querying_host, cand)
+        assert self.mapping is not None
+        my_asn = self.mapping.lookup(querying_host)
+        keyed = [
+            (0 if self.mapping.lookup(c) == my_asn else 1, i, c)
+            for i, c in enumerate(cand)
+        ]
+        keyed.sort()
+        return [c for _k, _i, c in keyed]
+
+
+class LatencySelection(NeighborSelection):
+    """Lowest predicted RTT first.
+
+    ``rtt_predictor(src_host, dst_host) -> ms`` can be a coordinate-system
+    estimate (cheap, §3.2 prediction) or a PingService measurement
+    (accurate, expensive).
+    """
+
+    name = "latency"
+
+    def __init__(self, rtt_predictor: Callable[[int, int], float]) -> None:
+        self.rtt_predictor = rtt_predictor
+
+    def rank(self, querying_host: int, candidates: Sequence[int]) -> list[int]:
+        cand = _dedup(candidates)
+        keyed = [
+            (float(self.rtt_predictor(querying_host, c)), i, c)
+            for i, c in enumerate(cand)
+        ]
+        keyed.sort()
+        return [c for _d, _i, c in keyed]
+
+
+class GeoSelection(NeighborSelection):
+    """Geographically closest first; candidates without a position (e.g.
+    no GPS fix) rank last."""
+
+    name = "geolocation"
+
+    def __init__(self, position_source: Callable[[int], Optional[Position]]) -> None:
+        self.position_source = position_source
+
+    def rank(self, querying_host: int, candidates: Sequence[int]) -> list[int]:
+        cand = _dedup(candidates)
+        my_pos = self.position_source(querying_host)
+        if my_pos is None:
+            return cand
+        keyed = []
+        for i, c in enumerate(cand):
+            pos = self.position_source(c)
+            d = my_pos.distance_to(pos) if pos is not None else float("inf")
+            keyed.append((d, i, c))
+        keyed.sort()
+        return [c for _d, _i, c in keyed]
+
+
+class ResourceSelection(NeighborSelection):
+    """Highest capacity first — attach to strong peers."""
+
+    name = "peer-resources"
+
+    def __init__(self, capacity_of: Callable[[int], float]) -> None:
+        self.capacity_of = capacity_of
+
+    def rank(self, querying_host: int, candidates: Sequence[int]) -> list[int]:
+        cand = _dedup(candidates)
+        keyed = [(-float(self.capacity_of(c)), i, c) for i, c in enumerate(cand)]
+        keyed.sort()
+        return [c for _s, _i, c in keyed]
+
+
+class CompositeSelection(NeighborSelection):
+    """Weighted Borda rank fusion of several strategies.
+
+    Each component ranks the candidates; a candidate's fused score is the
+    weighted sum of its normalised ranks.  This is the mechanism that
+    lets an application say "mostly latency, but break ties toward my
+    ISP" — the per-application QoS tailoring of §2.
+    """
+
+    name = "composite"
+
+    def __init__(
+        self, components: Sequence[tuple[NeighborSelection, float]]
+    ) -> None:
+        if not components:
+            raise ConfigurationError("composite needs at least one component")
+        if any(w < 0 for _s, w in components):
+            raise ConfigurationError("weights must be non-negative")
+        total = sum(w for _s, w in components)
+        if total <= 0:
+            raise ConfigurationError("at least one weight must be positive")
+        self.components = [(s, w / total) for s, w in components]
+
+    def rank(self, querying_host: int, candidates: Sequence[int]) -> list[int]:
+        cand = _dedup(candidates)
+        if len(cand) <= 1:
+            return cand
+        scores = {c: 0.0 for c in cand}
+        denom = len(cand) - 1
+        for strategy, weight in self.components:
+            ranked = strategy.rank(querying_host, cand)
+            for pos, c in enumerate(ranked):
+                scores[c] += weight * (pos / denom)
+        return sorted(cand, key=lambda c: (scores[c], c))

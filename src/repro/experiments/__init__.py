@@ -1,0 +1,65 @@
+"""Experiments: one module per figure/table of the paper.
+
+| id      | paper artefact                          | module                 |
+|---------|-----------------------------------------|------------------------|
+| FIG1    | Internet hierarchy                      | fig1_hierarchy         |
+| FIG2    | cost relations (+ locality savings)     | fig2_costs             |
+| FIG3    | collection taxonomy, measured           | fig3_taxonomy          |
+| FIG4    | ICS coordinates (+ worked examples)     | fig4_ics               |
+| FIG5    | Gnutella + oracle message table         | fig5_gnutella_oracle   |
+| FIG6    | uniform vs biased neighbor selection    | fig6_bns               |
+| TESTLAB | 45-node 5-AS controlled experiments     | testlab                |
+| TAB1    | catalogue of underlay-aware systems     | table1_systems         |
+| TAB2    | impact matrix                           | table2_impact          |
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    print_table,
+    repeat_over_seeds,
+)
+from repro.experiments.fig1_hierarchy import run_fig1
+from repro.experiments.fig2_costs import run_fig2, run_locality_savings
+from repro.experiments.fig3_taxonomy import run_fig3
+from repro.experiments.fig4_ics import (
+    run_fig4_dimension_sweep,
+    run_fig4_embedding,
+    run_fig4_examples,
+)
+from repro.experiments.fig5_gnutella_oracle import run_fig5
+from repro.experiments.fig6_bns import run_fig6
+from repro.experiments.framework_composite import run_framework_composite
+from repro.experiments.isp_bill import run_isp_bill
+from repro.experiments.table1_systems import run_table1
+from repro.experiments.table2_impact import run_table2
+from repro.experiments.testlab import (
+    TESTLAB_TOPOLOGIES,
+    build_testlab_underlay,
+    run_testlab,
+    run_testlab_arm,
+    testlab_topology,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "TESTLAB_TOPOLOGIES",
+    "build_testlab_underlay",
+    "print_table",
+    "repeat_over_seeds",
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4_dimension_sweep",
+    "run_fig4_embedding",
+    "run_fig4_examples",
+    "run_fig5",
+    "run_fig6",
+    "run_framework_composite",
+    "run_isp_bill",
+    "run_locality_savings",
+    "run_table1",
+    "run_table2",
+    "run_testlab",
+    "run_testlab_arm",
+    "testlab_topology",
+]

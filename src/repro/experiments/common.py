@@ -1,0 +1,112 @@
+"""Shared experiment plumbing: result containers and table printing.
+
+Every experiment module exposes a ``run_*`` function returning an
+:class:`ExperimentResult`; benchmarks call it, print the rows (the same
+rows the paper's figure/table reports), and assert the qualitative shape.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence, TextIO
+
+
+@dataclass
+class ExperimentResult:
+    """Named rows plus free-form notes."""
+
+    experiment_id: str
+    title: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **kwargs: Any) -> None:
+        self.rows.append(dict(kwargs))
+
+    def column(self, key: str) -> list[Any]:
+        return [r[key] for r in self.rows]
+
+    def row_by(self, key: str, value: Any) -> dict[str, Any]:
+        for r in self.rows:
+            if r.get(key) == value:
+                return r
+        raise KeyError(f"no row with {key}={value!r}")
+
+
+def repeat_over_seeds(
+    run: "Callable[[int], ExperimentResult]",
+    seeds: Sequence[int],
+    *,
+    key_column: str,
+    value_columns: Sequence[str],
+) -> ExperimentResult:
+    """Robustness harness: run an experiment per seed and report mean/std
+    of the chosen numeric columns per key (arm) value.
+
+    ``run(seed)`` must return results with identical keys across seeds.
+    """
+    from collections import defaultdict
+    from typing import Callable  # noqa: F401 (documented signature)
+
+    import numpy as np
+
+    if not seeds:
+        raise ValueError("need at least one seed")
+    samples: dict[Any, dict[str, list[float]]] = defaultdict(
+        lambda: {c: [] for c in value_columns}
+    )
+    first: ExperimentResult | None = None
+    for seed in seeds:
+        res = run(seed)
+        if first is None:
+            first = res
+        for row in res.rows:
+            key = row[key_column]
+            for col in value_columns:
+                samples[key][col].append(float(row[col]))
+    assert first is not None
+    out = ExperimentResult(
+        first.experiment_id + "-seeds",
+        f"{first.title} (mean ± std over {len(seeds)} seeds)",
+    )
+    for key, cols in samples.items():
+        row: dict[str, Any] = {key_column: key}
+        for col, vals in cols.items():
+            row[f"{col}_mean"] = float(np.mean(vals))
+            row[f"{col}_std"] = float(np.std(vals))
+        out.add_row(**row)
+    return out
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0 or 0.001 <= abs(value) < 1e6:
+            return f"{value:,.3f}".rstrip("0").rstrip(".")
+        return f"{value:.3e}"
+    return str(value)
+
+
+def print_table(result: ExperimentResult, *, file: TextIO | None = None) -> None:
+    """Render the result as an aligned text table (the bench output)."""
+    file = file or sys.stdout
+    print(f"\n=== {result.experiment_id}: {result.title} ===", file=file)
+    if not result.rows:
+        print("(no rows)", file=file)
+        return
+    columns: list[str] = []
+    for r in result.rows:
+        for k in r:
+            if k not in columns:
+                columns.append(k)
+    table = [[_fmt(r.get(c, "")) for c in columns] for r in result.rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in table)) for i, c in enumerate(columns)
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    print(header, file=file)
+    print("-" * len(header), file=file)
+    for row in table:
+        print("  ".join(v.ljust(w) for v, w in zip(row, widths)), file=file)
+    for note in result.notes:
+        print(f"note: {note}", file=file)

@@ -1,0 +1,62 @@
+"""FIG1 — the Internet hierarchy of Figure 1, measured on our generator.
+
+Figure 1 shows local ISPs buying transit from transit ISPs (monetary flow
+pointing up the hierarchy) and peering links between similar ISPs.  The
+experiment generates topologies across sizes and verifies/reports the
+structural facts the figure asserts:
+
+- every non-Tier-1 AS has at least one transit provider in a higher tier;
+- money flows strictly up: no provider is in a lower tier than its customer;
+- peering connects ASes of the same tier;
+- stub-to-stub routes have realistic AS-path lengths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult
+from repro.underlay.autonomous_system import Tier
+from repro.underlay.routing import ASRouting
+from repro.underlay.topology import TopologyConfig, generate_topology
+
+
+def run_fig1(sizes: list[tuple[int, int, int]] | None = None, seed: int = 42) -> ExperimentResult:
+    """``sizes`` is a list of (n_tier1, n_tier2, n_stub) triples."""
+    sizes = sizes or [(3, 6, 15), (4, 10, 25), (5, 16, 60)]
+    result = ExperimentResult(
+        "FIG1", "Internet hierarchy: tiers, transit (money up) and peering"
+    )
+    for n1, n2, ns in sizes:
+        topo = generate_topology(
+            TopologyConfig(n_tier1=n1, n_tier2=n2, n_stub=ns, seed=seed)
+        )
+        routing = ASRouting(topo)
+        money_up = all(
+            topo.asys(p).tier <= topo.asys(c).tier
+            for p, c in topo.transit_links()
+        )
+        peer_same_tier = all(
+            topo.asys(a).tier == topo.asys(b).tier
+            for a, b in topo.peering_links()
+        )
+        orphan_free = all(
+            a.providers for a in topo.ases if a.tier != Tier.TIER1
+        )
+        stubs = topo.stub_asns()
+        hops = [
+            routing.hops(a, b)
+            for i, a in enumerate(stubs)
+            for b in stubs[i + 1 :]
+        ]
+        result.add_row(
+            n_ases=len(topo),
+            transit_links=len(topo.transit_links()),
+            peering_links=len(topo.peering_links()),
+            money_flows_up=money_up,
+            peering_same_tier=peer_same_tier,
+            all_have_providers=orphan_free,
+            mean_stub_hops=float(np.mean(hops)),
+            max_stub_hops=int(np.max(hops)),
+        )
+    return result

@@ -1,0 +1,70 @@
+"""FIG2 — cost relations: transit vs peering economics.
+
+Regenerates the two curves of Figure 2 over a logarithmic traffic sweep:
+
+- transit: cost per Mbps ~constant  →  total cost ∝ traffic;
+- peering: total cost flat          →  cost per Mbps ∝ 1/traffic;
+
+plus the crossover point and an applied scenario: the monthly bill of a
+local ISP whose P2P traffic is shifted from transit to peering links by a
+locality-aware overlay (the economic punchline of §2.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult
+from repro.underlay.cost import CostModel, CostParams
+
+
+def run_fig2(
+    params: CostParams | None = None,
+    traffic_points: list[float] | None = None,
+) -> ExperimentResult:
+    """Regenerate the Figure 2 cost curves over a traffic sweep."""
+    model = CostModel(params)
+    traffic = traffic_points or list(np.logspace(0, 4, 9))  # 1 Mbps .. 10 Gbps
+    result = ExperimentResult(
+        "FIG2", "Cost relations: transit (per-Mbps constant) vs peering (flat)"
+    )
+    for row in model.figure2_series(traffic):
+        result.add_row(**row)
+    result.notes.append(
+        f"crossover: peering cheaper than transit above "
+        f"{model.crossover_mbps():,.0f} Mbps"
+    )
+    return result
+
+
+def run_locality_savings(
+    *,
+    p2p_traffic_mbps: float = 800.0,
+    locality_fractions: list[float] | None = None,
+    params: CostParams | None = None,
+) -> ExperimentResult:
+    """Monthly ISP bill as locality of traffic increases.
+
+    ``locality_fraction`` of the P2P traffic stays on intra-AS/peering
+    infrastructure (marginal cost ~0 once the peering link exists); the
+    rest rides the transit link at the billable peak.
+    """
+    model = CostModel(params)
+    fractions = locality_fractions or [0.0, 0.25, 0.5, 0.75, 0.9]
+    result = ExperimentResult(
+        "FIG2b", "ISP monthly bill vs locality of P2P traffic"
+    )
+    peering_links = 1
+    for f in fractions:
+        if not (0 <= f <= 1):
+            raise ValueError(f"locality fraction must be in [0, 1], got {f}")
+        transit_mbps = p2p_traffic_mbps * (1 - f)
+        bill = model.transit_monthly_cost(transit_mbps) + (
+            peering_links * model.peering_monthly_cost()
+        )
+        result.add_row(
+            locality_fraction=f,
+            transit_mbps=transit_mbps,
+            monthly_bill_usd=bill,
+        )
+    return result

@@ -1,0 +1,83 @@
+"""Evaluation metrics: locality, latency, messages, resilience, impact."""
+
+from repro.metrics.impact import (
+    BIG_EFFECT_THRESHOLD,
+    INFO_COLUMNS,
+    PAPER_TABLE2,
+    PARAMETER_ROWS,
+    SMALL_EFFECT_THRESHOLD,
+    ImpactCell,
+    agreement_rate,
+    compare_with_paper,
+    impact_symbol,
+)
+from repro.metrics.challenges import (
+    asymmetric_nearest_fraction,
+    hop_delay_correlation,
+    knn_asymmetry,
+    long_hop_fraction,
+)
+from repro.metrics.latency_metrics import (
+    delay_percentiles,
+    neighbor_delay_stats,
+    overlay_path_stretch,
+)
+from repro.metrics.locality import (
+    as_cluster_sizes,
+    as_modularity,
+    inter_as_edge_count,
+    intra_as_edge_fraction,
+    is_connected,
+    locality_summary,
+    min_inter_as_edges,
+)
+from repro.metrics.message_stats import (
+    GNUTELLA_KINDS,
+    gnutella_table_row,
+    overhead_ratio,
+    reduction_percent,
+    table_reductions,
+)
+from repro.metrics.resilience import (
+    articulation_point_count,
+    largest_component_fraction,
+    largest_component_fraction_under_removal,
+    partition_risk,
+    resilience_summary,
+)
+
+__all__ = [
+    "BIG_EFFECT_THRESHOLD",
+    "GNUTELLA_KINDS",
+    "INFO_COLUMNS",
+    "ImpactCell",
+    "PAPER_TABLE2",
+    "PARAMETER_ROWS",
+    "SMALL_EFFECT_THRESHOLD",
+    "agreement_rate",
+    "articulation_point_count",
+    "as_cluster_sizes",
+    "as_modularity",
+    "asymmetric_nearest_fraction",
+    "compare_with_paper",
+    "delay_percentiles",
+    "gnutella_table_row",
+    "hop_delay_correlation",
+    "impact_symbol",
+    "inter_as_edge_count",
+    "intra_as_edge_fraction",
+    "is_connected",
+    "knn_asymmetry",
+    "largest_component_fraction",
+    "largest_component_fraction_under_removal",
+    "locality_summary",
+    "long_hop_fraction",
+    "min_inter_as_edges",
+    "neighbor_delay_stats",
+    "overhead_ratio",
+    "overlay_path_stretch",
+    "partition_risk",
+    "reduction_percent",
+    "resilience_summary",
+    "table_reductions",
+]

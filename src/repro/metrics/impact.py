@@ -1,0 +1,139 @@
+"""Table 2: the impact matrix of underlay awareness.
+
+The survey summarises impacts qualitatively: for each (parameter ×
+underlay-information) cell, ``++`` big effect, ``+`` small effect, ``o``
+neutral.  We reproduce the table *quantitatively*: experiments measure
+each parameter with and without the given awareness, the relative
+improvement is mapped onto the same three-symbol scale, and the result is
+compared cell-by-cell with the paper's matrix.
+
+``PAPER_TABLE2`` transcribes the published matrix verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ReproError
+
+INFO_COLUMNS = ("isp_location", "latency", "geolocation", "peer_resources")
+PARAMETER_ROWS = (
+    "download_time",
+    "delay",
+    "isp_oam",
+    "isp_costs",
+    "new_applications",
+    "resilience",
+)
+
+#: The published Table 2, rows × columns, symbols in {"++", "+", "o"}.
+PAPER_TABLE2: dict[str, dict[str, str]] = {
+    "download_time": {
+        "isp_location": "++", "latency": "o", "geolocation": "o",
+        "peer_resources": "++",
+    },
+    "delay": {
+        "isp_location": "o", "latency": "++", "geolocation": "+",
+        "peer_resources": "o",
+    },
+    "isp_oam": {
+        "isp_location": "++", "latency": "o", "geolocation": "o",
+        "peer_resources": "o",
+    },
+    "isp_costs": {
+        "isp_location": "++", "latency": "o", "geolocation": "o",
+        "peer_resources": "+",
+    },
+    "new_applications": {
+        "isp_location": "o", "latency": "+", "geolocation": "++",
+        "peer_resources": "o",
+    },
+    "resilience": {
+        "isp_location": "++", "latency": "++", "geolocation": "o",
+        "peer_resources": "+",
+    },
+}
+
+#: Default thresholds on relative improvement for the symbol mapping.
+BIG_EFFECT_THRESHOLD = 0.25
+SMALL_EFFECT_THRESHOLD = 0.05
+
+
+def impact_symbol(
+    relative_improvement: float,
+    *,
+    big: float = BIG_EFFECT_THRESHOLD,
+    small: float = SMALL_EFFECT_THRESHOLD,
+) -> str:
+    """Map a measured relative improvement onto the paper's scale.
+
+    ``relative_improvement`` is (baseline − aware) / baseline for
+    lower-is-better parameters, or the signed gain for higher-is-better
+    ones; negative values (regressions) map to "o" like the paper's
+    neutral, since Table 2 has no negative symbol.
+    """
+    if not (0 < small < big):
+        raise ReproError("thresholds must satisfy 0 < small < big")
+    if relative_improvement >= big:
+        return "++"
+    if relative_improvement >= small:
+        return "+"
+    return "o"
+
+
+@dataclass(frozen=True)
+class ImpactCell:
+    """One Table 2 cell: measured improvement, its symbol, the paper's symbol."""
+    parameter: str
+    info_type: str
+    measured_improvement: float
+    measured_symbol: str
+    paper_symbol: str
+
+    @property
+    def matches(self) -> bool:
+        return self.measured_symbol == self.paper_symbol
+
+    @property
+    def within_one_step(self) -> bool:
+        scale = {"o": 0, "+": 1, "++": 2}
+        return abs(scale[self.measured_symbol] - scale[self.paper_symbol]) <= 1
+
+
+def compare_with_paper(
+    measured: Mapping[str, Mapping[str, float]],
+    *,
+    big: float = BIG_EFFECT_THRESHOLD,
+    small: float = SMALL_EFFECT_THRESHOLD,
+) -> list[ImpactCell]:
+    """Compare measured relative improvements against PAPER_TABLE2.
+
+    ``measured[row][column]`` is the relative improvement of that cell;
+    missing cells are skipped (e.g. "new_applications", which is a
+    qualitative enablement claim rather than a measurable delta).
+    """
+    cells = []
+    for row, cols in measured.items():
+        if row not in PAPER_TABLE2:
+            raise ReproError(f"unknown Table 2 row {row!r}")
+        for col, value in cols.items():
+            if col not in INFO_COLUMNS:
+                raise ReproError(f"unknown Table 2 column {col!r}")
+            cells.append(
+                ImpactCell(
+                    parameter=row,
+                    info_type=col,
+                    measured_improvement=float(value),
+                    measured_symbol=impact_symbol(value, big=big, small=small),
+                    paper_symbol=PAPER_TABLE2[row][col],
+                )
+            )
+    return cells
+
+
+def agreement_rate(cells: list[ImpactCell]) -> float:
+    """Fraction of cells whose measured symbol equals the paper's."""
+    if not cells:
+        raise ReproError("no cells to compare")
+    return sum(c.matches for c in cells) / len(cells)

@@ -1,0 +1,118 @@
+"""Resilience metrics: robustness against churn and failures (§5.4).
+
+The survey flags "robustness especially against churn" as the open
+evaluation question for underlay-aware overlays — in particular whether
+ISP-based clustering (Figure 6b) makes the overlay fragile: if the few
+inter-AS links die, whole ISP clusters partition.  These metrics measure
+exactly that:
+
+- ``largest_component_fraction_under_removal`` — classic random-failure
+  sweep;
+- ``partition_risk`` — probability that removing ``f`` random nodes
+  disconnects at least one AS cluster from the rest;
+- ``cut_vulnerability`` — how many node removals suffice to disconnect
+  the overlay (greedy approximation via articulation points).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ReproError
+from repro.rng import SeedLike, ensure_rng
+
+
+def largest_component_fraction(graph: nx.Graph) -> float:
+    """Size of the largest connected component over all nodes."""
+    n = graph.number_of_nodes()
+    if n == 0:
+        raise ReproError("empty graph")
+    return max(len(c) for c in nx.connected_components(graph)) / n
+
+
+def largest_component_fraction_under_removal(
+    graph: nx.Graph,
+    removal_fractions: Sequence[float],
+    *,
+    trials: int = 5,
+    rng: SeedLike = None,
+) -> list[dict[str, float]]:
+    """For each removal fraction, the mean size of the largest surviving
+    component (fraction of surviving nodes)."""
+    rng = ensure_rng(rng)
+    nodes = list(graph.nodes())
+    rows = []
+    for f in removal_fractions:
+        if not (0 <= f < 1):
+            raise ReproError(f"removal fraction must be in [0, 1), got {f}")
+        n_remove = int(round(f * len(nodes)))
+        sizes = []
+        for _ in range(trials):
+            idx = rng.choice(len(nodes), size=n_remove, replace=False)
+            removed = {nodes[int(i)] for i in idx}
+            sub = graph.subgraph(n for n in nodes if n not in removed)
+            survivors = sub.number_of_nodes()
+            if survivors == 0:
+                sizes.append(0.0)
+                continue
+            sizes.append(max(len(c) for c in nx.connected_components(sub)) / survivors)
+        rows.append({"removal_fraction": float(f), "largest_component": float(np.mean(sizes))})
+    return rows
+
+
+def partition_risk(
+    graph: nx.Graph,
+    asn_of: Callable[[Hashable], int],
+    removal_fraction: float,
+    *,
+    trials: int = 20,
+    rng: SeedLike = None,
+) -> float:
+    """Probability that random removal of the given node fraction leaves
+    at least one AS's surviving peers unreachable from the rest."""
+    rng = ensure_rng(rng)
+    nodes = list(graph.nodes())
+    n_remove = int(round(removal_fraction * len(nodes)))
+    bad = 0
+    for _ in range(trials):
+        idx = rng.choice(len(nodes), size=n_remove, replace=False)
+        removed = {nodes[int(i)] for i in idx}
+        sub = graph.subgraph(n for n in nodes if n not in removed)
+        if sub.number_of_nodes() == 0:
+            continue
+        comps = list(nx.connected_components(sub))
+        if len(comps) == 1:
+            continue
+        # partitioned: does any AS sit entirely outside the giant component?
+        giant = max(comps, key=len)
+        outside_ases = {asn_of(n) for c in comps if c is not giant for n in c}
+        if outside_ases:
+            bad += 1
+    return bad / trials
+
+
+def articulation_point_count(graph: nx.Graph) -> int:
+    """Nodes whose individual failure disconnects the overlay."""
+    if graph.number_of_nodes() == 0:
+        raise ReproError("empty graph")
+    return sum(1 for _ in nx.articulation_points(graph))
+
+
+def resilience_summary(
+    graph: nx.Graph,
+    asn_of: Callable[[Hashable], int],
+    *,
+    removal_fraction: float = 0.2,
+    rng: SeedLike = 0,
+) -> dict[str, float]:
+    """One row with the connectivity/robustness quantities of a graph."""
+    return {
+        "largest_component": largest_component_fraction(graph),
+        "articulation_points": articulation_point_count(graph),
+        "partition_risk": partition_risk(
+            graph, asn_of, removal_fraction, rng=rng
+        ),
+    }

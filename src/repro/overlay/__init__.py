@@ -1,0 +1,38 @@
+"""P2P overlays: the "usage of underlay information" half of the survey.
+
+Subpackages:
+
+- :mod:`~repro.overlay.gnutella` — unstructured flooding overlay with
+  oracle-biased neighbor selection (Figures 5/6, the [1] experiments);
+- :mod:`~repro.overlay.kademlia` — structured DHT with proximity neighbor
+  selection (Kaune et al. [17]);
+- :mod:`~repro.overlay.bittorrent` — content-distribution swarm with
+  biased neighbor selection (Bindal et al. [3]) and CAT-style cost-aware
+  choking [32];
+- :mod:`~repro.overlay.geo` — Globase.KOM-style geolocation overlay [19]
+  and POI search [2][10];
+- :mod:`~repro.overlay.superpeer` — resource-aware hybrid overlay [11].
+"""
+
+from repro.overlay.base import OverlayNode
+from repro.overlay.chord import ChordConfig, ChordRing, chord_id
+from repro.overlay.hierarchical import HierarchicalDHT, HierarchicalLookup
+from repro.overlay.streaming import (
+    SchedulerPolicy,
+    StreamConfig,
+    StreamingSwarm,
+    StreamReport,
+)
+
+__all__ = [
+    "ChordConfig",
+    "ChordRing",
+    "HierarchicalDHT",
+    "HierarchicalLookup",
+    "OverlayNode",
+    "SchedulerPolicy",
+    "StreamConfig",
+    "StreamReport",
+    "StreamingSwarm",
+    "chord_id",
+]

@@ -1,0 +1,18 @@
+"""BitTorrent swarm with biased neighbor selection (Bindal et al. [3]) and
+cost-aware choking (CAT, Yamazaki et al. [32])."""
+
+from repro.overlay.bittorrent.peer import SwarmConfig, SwarmPeer
+from repro.overlay.bittorrent.swarm import SwarmReport, SwarmSimulation
+from repro.overlay.bittorrent.torrent import Bitfield, Torrent
+from repro.overlay.bittorrent.tracker import Tracker, TrackerPolicy
+
+__all__ = [
+    "Bitfield",
+    "SwarmConfig",
+    "SwarmPeer",
+    "SwarmReport",
+    "SwarmSimulation",
+    "Torrent",
+    "Tracker",
+    "TrackerPolicy",
+]

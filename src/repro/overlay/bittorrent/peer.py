@@ -1,0 +1,142 @@
+"""Swarm peer: bitfield, choking and piece selection.
+
+Standard BitTorrent behaviours, simplified to the granularity the Bindal
+experiments need:
+
+- **rarest-first** piece selection over the neighbour set;
+- **tit-for-tat choking**: every rechoke interval a peer unchokes its
+  ``regular_slots`` best recent uploaders plus one optimistic random
+  interested neighbour; seeds rank by recent download rate given;
+- **cost-aware unchoking** (CAT, Yamazaki et al. [32]): an optional mode
+  preferring same-AS neighbours among otherwise comparable candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import OverlayError
+from repro.overlay.bittorrent.torrent import Bitfield, Torrent
+from repro.rng import SeedLike, ensure_rng
+from repro.underlay.hosts import Host
+
+
+@dataclass(frozen=True)
+class SwarmConfig:
+    """Choking parameters: unchoke slots, rechoke interval, CAT mode."""
+    regular_slots: int = 4
+    optimistic_slots: int = 1
+    rechoke_interval_s: float = 10.0
+    cost_aware: bool = False          # CAT-style same-AS preference
+
+    def __post_init__(self) -> None:
+        if self.regular_slots < 1 or self.optimistic_slots < 0:
+            raise OverlayError("invalid unchoke slot configuration")
+        if self.rechoke_interval_s <= 0:
+            raise OverlayError("rechoke interval must be positive")
+
+
+class SwarmPeer:
+    """A swarm participant: bitfield, neighbours, tit-for-tat state."""
+    def __init__(
+        self,
+        host: Host,
+        torrent: Torrent,
+        config: SwarmConfig,
+        *,
+        is_seed: bool = False,
+        rng: SeedLike = None,
+    ) -> None:
+        self.host = host
+        self.torrent = torrent
+        self.config = config
+        self.bitfield = Bitfield(torrent.n_pieces, complete=is_seed)
+        self.is_initial_seed = is_seed
+        self.neighbors: set[int] = set()
+        self.unchoked: set[int] = set()   # whom *we* are uploading to
+        self._rng = ensure_rng(rng)
+        # rolling byte counters for tit-for-tat (reset each rechoke)
+        self.recv_from: dict[int, float] = {}
+        self.sent_to: dict[int, float] = {}
+        # per-uploader progress toward the piece currently fetched from them
+        self.partial: dict[int, tuple[int, float]] = {}  # uploader -> (piece, bytes)
+        self.finish_time: Optional[float] = None
+        self.join_time: float = 0.0
+        self.uploaded_bytes: float = 0.0
+        self.downloaded_bytes: float = 0.0
+
+    # -- identity ----------------------------------------------------------------
+    @property
+    def host_id(self) -> int:
+        return self.host.host_id
+
+    @property
+    def asn(self) -> int:
+        return self.host.asn
+
+    @property
+    def up_bps(self) -> float:
+        return self.host.resources.bandwidth_up_kbps * 1000.0 / 8.0
+
+    @property
+    def down_bps(self) -> float:
+        return self.host.resources.bandwidth_down_kbps * 1000.0 / 8.0
+
+    @property
+    def complete(self) -> bool:
+        return self.bitfield.complete
+
+    # -- choking -----------------------------------------------------------------
+    def rechoke(self, interested: dict[int, "SwarmPeer"]) -> None:
+        """Recompute the unchoke set from the interested neighbours."""
+        if not interested:
+            self.unchoked = set()
+            return
+        cfg = self.config
+
+        def tft_key(pid: int) -> tuple:
+            # leechers rank by bytes received from the peer (tit-for-tat),
+            # seeds by bytes recently sent (serve fast downloaders).
+            rate = (
+                self.sent_to.get(pid, 0.0)
+                if self.complete
+                else self.recv_from.get(pid, 0.0)
+            )
+            same_as = interested[pid].asn == self.asn
+            if cfg.cost_aware:
+                return (same_as, rate)
+            return (rate,)
+
+        ranked = sorted(interested, key=tft_key, reverse=True)
+        chosen = set(ranked[: cfg.regular_slots])
+        rest = [p for p in ranked if p not in chosen]
+        for _ in range(cfg.optimistic_slots):
+            if not rest:
+                break
+            pick = rest.pop(int(self._rng.integers(len(rest))))
+            chosen.add(pick)
+        self.unchoked = chosen
+        self.recv_from.clear()
+        self.sent_to.clear()
+
+    # -- piece selection --------------------------------------------------------------
+    def pick_piece(
+        self, uploader: "SwarmPeer", availability: np.ndarray, in_flight: set[int]
+    ) -> Optional[int]:
+        """Rarest-first among pieces the uploader has and we lack, avoiding
+        pieces already being fetched from someone else."""
+        wanted = (uploader.bitfield.have() - self.bitfield.have()) - in_flight
+        if not wanted:
+            return None
+        wanted_list = sorted(wanted)
+        avail = availability[wanted_list]
+        best = int(np.argmin(avail))
+        # random tie-break among equal-rarity pieces
+        ties = [p for p, a in zip(wanted_list, avail) if a == avail[best]]
+        return int(ties[int(self._rng.integers(len(ties)))])
+
+    def interested_in(self, other: "SwarmPeer") -> bool:
+        return bool(other.bitfield.have() - self.bitfield.have())

@@ -1,0 +1,91 @@
+"""BitTorrent tracker with neighbor-selection policies.
+
+- ``RANDOM`` — the standard tracker: a uniform random subset of the swarm.
+- ``BIASED`` — Bindal et al. [3]: the tracker (or an ISP traffic-shaping
+  device acting as one) returns peers from the requester's own AS plus at
+  most ``external_quota`` outside peers, keeping the swarm connected across
+  ISP boundaries with the minimum external degree.
+- ``ORACLE`` — the tracker hands the candidate set to an
+  :class:`~repro.collection.oracle.ISPOracle` for AS-hop ranking and
+  returns the top entries (the same idea, using the ISP's oracle service).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.collection.oracle import ISPOracle
+from repro.errors import OverlayError
+from repro.rng import SeedLike, ensure_rng
+from repro.underlay.network import Underlay
+
+
+class TrackerPolicy(enum.Enum):
+    """Peer-list policy: random, Bindal-biased, or oracle-ranked."""
+    RANDOM = "random"
+    BIASED = "biased"
+    ORACLE = "oracle"
+
+
+class Tracker:
+    """Swarm membership registry answering announces with a peer list."""
+    def __init__(
+        self,
+        underlay: Underlay,
+        *,
+        policy: TrackerPolicy = TrackerPolicy.RANDOM,
+        peer_list_size: int = 35,
+        external_quota: int = 2,
+        oracle: Optional[ISPOracle] = None,
+        rng: SeedLike = None,
+    ) -> None:
+        if policy is TrackerPolicy.ORACLE and oracle is None:
+            raise OverlayError("ORACLE tracker policy requires an oracle")
+        if peer_list_size < 1:
+            raise OverlayError("peer_list_size must be >= 1")
+        if external_quota < 1:
+            # at least one external link keeps AS clusters connected
+            raise OverlayError("external_quota must be >= 1")
+        self.underlay = underlay
+        self.policy = policy
+        self.peer_list_size = peer_list_size
+        self.external_quota = external_quota
+        self.oracle = oracle
+        self._rng = ensure_rng(rng)
+        self.swarm: set[int] = set()
+        self.announces = 0
+
+    def announce(self, host_id: int) -> list[int]:
+        """Register ``host_id`` and return a policy-dependent peer list."""
+        self.announces += 1
+        others = [p for p in self.swarm if p != host_id]
+        self.swarm.add(host_id)
+        if not others:
+            return []
+        if self.policy is TrackerPolicy.RANDOM:
+            return self._sample(others, self.peer_list_size)
+        if self.policy is TrackerPolicy.ORACLE:
+            assert self.oracle is not None
+            ranked = self.oracle.rank(host_id, others)
+            return ranked[: self.peer_list_size]
+        return self._biased_list(host_id, others)
+
+    def _sample(self, pool: Sequence[int], n: int) -> list[int]:
+        n = min(n, len(pool))
+        idx = self._rng.choice(len(pool), size=n, replace=False)
+        return [pool[int(i)] for i in idx]
+
+    def _biased_list(self, host_id: int, others: Sequence[int]) -> list[int]:
+        my_asn = self.underlay.asn_of(host_id)
+        internal = [p for p in others if self.underlay.asn_of(p) == my_asn]
+        external = [p for p in others if self.underlay.asn_of(p) != my_asn]
+        take_internal = self._sample(internal, self.peer_list_size - self.external_quota)
+        take_external = self._sample(external, min(self.external_quota,
+                                                   self.peer_list_size))
+        return take_internal + take_external
+
+    def depart(self, host_id: int) -> None:
+        self.swarm.discard(host_id)

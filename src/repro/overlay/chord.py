@@ -1,0 +1,316 @@
+"""Chord ring with proximity route selection (the eCAN/TSO class [30][31]).
+
+A second structured-overlay family beside Kademlia: peers sit on a 2^m
+identifier ring, each keeping a successor list and a finger table; a
+lookup walks greedily through closest-preceding fingers.  The ring is
+built from a stable membership snapshot (the join/stabilise dance is
+Kademlia's job in this repo; Chord here isolates *routing* behaviour),
+but every lookup hop is a real RPC on the message bus, so hop counts,
+latencies and AS crossings are measured rather than computed.
+
+The underlay-aware variant is **proximity route selection** (PRS), the
+technique eCAN [30] and topology-aware hierarchies [31] apply to
+structured overlays: among the fingers that make sufficient progress
+toward the target, prefer the lowest-RTT one.  Plain Chord takes the
+numerically closest-preceding finger regardless of where it lives.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import OverlayError
+from repro.overlay.base import OverlayNode
+from repro.rng import SeedLike, ensure_rng
+from repro.sim.engine import Simulation
+from repro.sim.messages import Message, MessageBus
+from repro.underlay.hosts import Host
+from repro.underlay.network import Underlay
+
+M_BITS = 32
+RING = 1 << M_BITS
+
+
+def chord_id(value: object) -> int:
+    """Hash anything onto the ring."""
+    digest = hashlib.sha1(repr(value).encode()).digest()
+    return int.from_bytes(digest[:4], "big") % RING
+
+
+def in_interval(x: int, a: int, b: int) -> bool:
+    """x ∈ (a, b] on the ring (half-open, wrapping)."""
+    if a < b:
+        return a < x <= b
+    return x > a or x <= b
+
+
+@dataclass(frozen=True)
+class ChordConfig:
+    """Chord parameters: successor-list length, finger count, proximity modes."""
+    successors: int = 4
+    fingers: int = M_BITS
+    #: PRS — proximity route selection: at lookup time, among fingers
+    #: with comparable remaining distance, hop to the lowest-RTT one
+    proximity_routing: bool = False
+    #: PNS — proximity neighbor selection: at build time, fill each
+    #: finger slot [n+2^k, n+2^{k+1}) with the lowest-RTT node of that
+    #: interval instead of its first node.  The literature's winner:
+    #: routing stays greedy (no hop inflation) but every hop gets cheap.
+    proximity_fingers: bool = False
+    #: PRS window: consider fingers whose remaining ring distance is at
+    #: most this multiple of the best finger's (2.0 ≈ "costs at most one
+    #: extra expected hop"); tighter windows trade less hop inflation for
+    #: smaller per-hop savings
+    prs_window: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.successors < 1:
+            raise OverlayError("need at least one successor")
+        if not (1 <= self.fingers <= M_BITS):
+            raise OverlayError(f"fingers must be within 1..{M_BITS}")
+        if self.prs_window < 1.0:
+            raise OverlayError("prs_window must be >= 1")
+
+
+@dataclass
+class ChordLookup:
+    """One lookup's record: key, path, hop count, latency, resolved owner."""
+    key: int
+    origin: int
+    hops: int = 0
+    path: list[int] = field(default_factory=list)
+    owner: Optional[int] = None
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    done: bool = False
+
+    @property
+    def latency_ms(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class ChordNode(OverlayNode):
+    """A ring participant: successor list, finger table, per-hop RPC handling."""
+    def __init__(
+        self,
+        host: Host,
+        sim: Simulation,
+        bus: MessageBus,
+        ring_id: int,
+        network: "ChordRing",
+    ) -> None:
+        super().__init__(host, sim, bus)
+        self.ring_id = ring_id
+        self.network = network
+        self.successors: list[int] = []   # host ids, clockwise
+        self.fingers: list[tuple[int, int]] = []  # (ring_id, host_id)
+
+    # -- routing table -------------------------------------------------------
+    def _progress(self, from_id: int, key: int) -> int:
+        """Clockwise distance covered toward key when stepping to from_id."""
+        return (key - from_id) % RING
+
+    def next_hop(self, key: int) -> Optional[int]:
+        """Closest-preceding finger toward ``key`` — or, under PRS, the
+        lowest-RTT finger among those making comparable progress."""
+        if not self.fingers:
+            return self.successors[0] if self.successors else None
+        candidates = [
+            (rid, hid)
+            for rid, hid in self.fingers
+            if in_interval(rid, self.ring_id, (key - 1) % RING)
+        ]
+        if not candidates:
+            return None
+        # remaining distance after stepping to each candidate (smaller=better)
+        remaining = [(self._progress(rid, key), rid, hid) for rid, hid in candidates]
+        remaining.sort()
+        if not self.network.config.proximity_routing:
+            return remaining[0][2]
+        best_remaining = remaining[0][0]
+        window = [
+            (rem, hid) for rem, _rid, hid in remaining
+            if rem <= self.network.config.prs_window * max(best_remaining, 1)
+        ]
+        # among comparable-progress fingers, take the cheapest hop
+        return min(
+            window,
+            key=lambda t: self.network.rtt_estimate(self.host_id, t[1]),
+        )[1]
+
+    def owns(self, key: int) -> bool:
+        """True when ``key`` falls in (predecessor, self] on the ring."""
+        pred = self.network.predecessor_of(self.host_id)
+        if pred is None:
+            return True
+        return in_interval(key, self.network.nodes[pred].ring_id, self.ring_id)
+
+    # -- message handling -----------------------------------------------------
+    def on_chord_lookup(self, msg: Message) -> None:
+        payload = dict(msg.payload)
+        key = payload["key"]
+        payload["hops"] = payload["hops"] + 1
+        payload["path"] = payload["path"] + [self.host_id]
+        if self.owns(key):
+            self.send(payload["origin"], "CHORD_RESULT", payload, 64)
+            return
+        nxt = self.next_hop(key)
+        if nxt is None or nxt == self.host_id:
+            nxt = self.successors[0] if self.successors else None
+        if nxt is None:
+            self.send(payload["origin"], "CHORD_RESULT", payload, 64)
+            return
+        self.send(nxt, "CHORD_LOOKUP", payload, 72)
+
+    def on_chord_result(self, msg: Message) -> None:
+        self.network.finish_lookup(msg.payload, owner=msg.src)
+
+
+class ChordRing:
+    """A Chord overlay over a stable membership snapshot."""
+
+    def __init__(
+        self,
+        underlay: Underlay,
+        sim: Simulation,
+        bus: MessageBus,
+        *,
+        config: ChordConfig | None = None,
+        rng: SeedLike = None,
+    ) -> None:
+        self.underlay = underlay
+        self.sim = sim
+        self.bus = bus
+        self.config = config or ChordConfig()
+        self._rng = ensure_rng(rng)
+        self.nodes: dict[int, ChordNode] = {}
+        self._ring_order: list[int] = []     # host ids sorted by ring id
+        self.lookups: dict[int, ChordLookup] = {}
+        self._lookup_seq = itertools.count()
+        self._rtt_cache: dict[tuple[int, int], float] = {}
+
+    # -- construction ----------------------------------------------------------
+    def build(self, hosts: Optional[Sequence[Host]] = None) -> None:
+        hosts = list(hosts) if hosts is not None else self.underlay.hosts
+        if len(hosts) < 2:
+            raise OverlayError("chord ring needs at least two nodes")
+        used: set[int] = set()
+        for h in hosts:
+            rid = chord_id(("node", h.host_id))
+            while rid in used:  # vanishing collision chance at 2^32
+                rid = (rid + 1) % RING
+            used.add(rid)
+            node = ChordNode(h, self.sim, self.bus, rid, self)
+            node.go_online()
+            self.nodes[h.host_id] = node
+        self._ring_order = sorted(self.nodes, key=lambda hid: self.nodes[hid].ring_id)
+        n = len(self._ring_order)
+        pos_of = {hid: i for i, hid in enumerate(self._ring_order)}
+        for hid, node in self.nodes.items():
+            i = pos_of[hid]
+            node.successors = [
+                self._ring_order[(i + k + 1) % n]
+                for k in range(min(self.config.successors, n - 1))
+            ]
+            node.fingers = []
+            for k in range(self.config.fingers):
+                lo = (node.ring_id + (1 << k)) % RING
+                hi = (node.ring_id + (1 << (k + 1)) - 1) % RING if k + 1 <= M_BITS else lo
+                owner = self._owner_of(lo)
+                if owner == hid:
+                    continue
+                if self.config.proximity_fingers:
+                    # PNS: any node of the interval [lo, hi] keeps greedy
+                    # routing correct; take the cheapest by RTT
+                    interval_nodes = self._nodes_in_interval(lo, hi)
+                    if interval_nodes:
+                        owner = min(
+                            interval_nodes,
+                            key=lambda o: self.rtt_estimate(hid, o),
+                        )
+                entry = (self.nodes[owner].ring_id, owner)
+                if entry not in node.fingers:
+                    node.fingers.append(entry)
+
+    def _owner_of(self, key: int) -> int:
+        """Host id of the ring successor of ``key`` (global snapshot)."""
+        rids = [self.nodes[hid].ring_id for hid in self._ring_order]
+        idx = int(np.searchsorted(rids, key))
+        return self._ring_order[idx % len(self._ring_order)]
+
+    def _nodes_in_interval(self, lo: int, hi: int) -> list[int]:
+        """Host ids whose ring ids fall in [lo, hi] (wrapping)."""
+        out = []
+        for hid in self._ring_order:
+            rid = self.nodes[hid].ring_id
+            if lo <= hi:
+                if lo <= rid <= hi:
+                    out.append(hid)
+            elif rid >= lo or rid <= hi:
+                out.append(hid)
+        return out
+
+    def predecessor_of(self, host_id: int) -> Optional[int]:
+        i = self._ring_order.index(host_id)
+        return self._ring_order[i - 1]
+
+    def rtt_estimate(self, a: int, b: int) -> float:
+        key = (min(a, b), max(a, b))
+        if key not in self._rtt_cache:
+            self._rtt_cache[key] = 2.0 * self.underlay.one_way_delay(a, b)
+        return self._rtt_cache[key]
+
+    # -- lookups ----------------------------------------------------------------
+    def lookup(self, origin: int, content: object) -> ChordLookup:
+        key = chord_id(content)
+        lookup_id = next(self._lookup_seq)
+        record = ChordLookup(key=key, origin=origin, started_at=self.sim.now)
+        self.lookups[lookup_id] = record
+        node = self.nodes[origin]
+        payload = {
+            "lookup_id": lookup_id,
+            "key": key,
+            "origin": origin,
+            "hops": 0,
+            "path": [],
+        }
+        if node.owns(key):
+            record.owner = origin
+            record.finished_at = self.sim.now
+            record.done = True
+            return record
+        nxt = node.next_hop(key)
+        if nxt is None:
+            nxt = node.successors[0]
+        node.send(nxt, "CHORD_LOOKUP", payload, 72)
+        return record
+
+    def finish_lookup(self, payload: dict, owner: int) -> None:
+        record = self.lookups.get(payload["lookup_id"])
+        if record is None or record.done:
+            return
+        record.hops = payload["hops"]
+        record.path = payload["path"]
+        record.owner = owner
+        record.finished_at = self.sim.now
+        record.done = True
+
+    # -- analysis ------------------------------------------------------------------
+    def correct_owner(self, content: object) -> int:
+        return self._owner_of(chord_id(content))
+
+    def lookup_stats(self) -> dict[str, float]:
+        done = [l for l in self.lookups.values() if l.done]
+        if not done:
+            raise OverlayError("no completed lookups")
+        return {
+            "n": len(done),
+            "mean_hops": float(np.mean([l.hops for l in done])),
+            "mean_latency_ms": float(np.mean([l.latency_ms for l in done])),
+            "p95_latency_ms": float(np.percentile([l.latency_ms for l in done], 95)),
+        }

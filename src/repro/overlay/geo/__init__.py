@@ -1,0 +1,20 @@
+"""Geolocation-aware overlay: zones, Globase-style tree, POI search."""
+
+from repro.overlay.geo.globase import GeoOpStats, GlobaseOverlay
+from repro.overlay.geo.queries import (
+    POIDirectory,
+    PointOfInterest,
+    emergency_dispatch,
+)
+from repro.overlay.geo.zones import Rect, ZoneNode, ZoneTree
+
+__all__ = [
+    "GeoOpStats",
+    "GlobaseOverlay",
+    "POIDirectory",
+    "PointOfInterest",
+    "Rect",
+    "ZoneNode",
+    "ZoneTree",
+    "emergency_dispatch",
+]

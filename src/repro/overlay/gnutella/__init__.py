@@ -1,0 +1,34 @@
+"""Gnutella 0.6 overlay with oracle-biased neighbor selection ([1], §4)."""
+
+from repro.overlay.gnutella.hostcache import HostCache
+from repro.overlay.gnutella.messages import (
+    ConnectReply,
+    ConnectRequest,
+    Ping,
+    Pong,
+    Query,
+    QueryHit,
+)
+from repro.overlay.gnutella.network import (
+    GnutellaNetwork,
+    NeighborPolicy,
+    SearchRecord,
+)
+from repro.overlay.gnutella.node import LEAF, ULTRAPEER, GnutellaConfig, GnutellaNode
+
+__all__ = [
+    "ConnectReply",
+    "ConnectRequest",
+    "GnutellaConfig",
+    "GnutellaNetwork",
+    "GnutellaNode",
+    "HostCache",
+    "LEAF",
+    "NeighborPolicy",
+    "Ping",
+    "Pong",
+    "Query",
+    "QueryHit",
+    "SearchRecord",
+    "ULTRAPEER",
+]

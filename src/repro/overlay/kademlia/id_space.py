@@ -1,0 +1,82 @@
+"""Kademlia identifier space: 160-bit ids under the XOR metric.
+
+The XOR metric is a genuine metric (symmetric, zero iff equal, triangle
+inequality holds with equality-or-better) and is unidirectional: for any
+target there is exactly one closest id.  Property tests in the test suite
+verify these invariants.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.errors import OverlayError
+from repro.rng import SeedLike, ensure_rng
+
+ID_BITS = 160
+ID_SPACE = 1 << ID_BITS
+
+
+def validate_id(node_id: int) -> int:
+    """Return the id unchanged after checking type and 160-bit range."""
+    if not isinstance(node_id, int):
+        raise OverlayError(f"node id must be int, got {type(node_id).__name__}")
+    if not (0 <= node_id < ID_SPACE):
+        raise OverlayError(f"node id out of range: {node_id}")
+    return node_id
+
+
+def xor_distance(a: int, b: int) -> int:
+    """XOR distance between two ids."""
+    return validate_id(a) ^ validate_id(b)
+
+
+def bucket_index(own_id: int, other_id: int) -> int:
+    """Index of the k-bucket that ``other_id`` falls into relative to
+    ``own_id``: the position of the highest differing bit (0..159).
+    Raises for identical ids (a node does not bucket itself)."""
+    d = xor_distance(own_id, other_id)
+    if d == 0:
+        raise OverlayError("cannot bucket an identical id")
+    return d.bit_length() - 1
+
+
+def random_id(rng: SeedLike = None) -> int:
+    """Uniform random 160-bit id."""
+    rng = ensure_rng(rng)
+    # draw 160 bits as 20 bytes
+    data = rng.integers(0, 256, size=ID_BITS // 8, dtype=np.uint8).tobytes()
+    return int.from_bytes(data, "big")
+
+
+def random_id_in_bucket(own_id: int, bucket: int, rng: SeedLike = None) -> int:
+    """Random id whose bucket index relative to ``own_id`` is ``bucket``
+    (used for bucket refresh lookups)."""
+    if not (0 <= bucket < ID_BITS):
+        raise OverlayError(f"bucket index out of range: {bucket}")
+    rng = ensure_rng(rng)
+    # flip bit `bucket`, randomise all lower bits
+    prefix = own_id >> (bucket + 1) << (bucket + 1)
+    flipped = prefix | ((~own_id >> bucket) & 1) << bucket
+    low_bits = 0
+    remaining = bucket
+    while remaining > 0:
+        take = min(remaining, 31)
+        low_bits = (low_bits << take) | int(rng.integers(0, 1 << take))
+        remaining -= take
+    return flipped | low_bits
+
+
+def key_for(content: object) -> int:
+    """Hash any hashable/printable content id into the key space (SHA-1,
+    Kademlia's original choice — 160 bits exactly)."""
+    digest = hashlib.sha1(repr(content).encode()).digest()
+    return int.from_bytes(digest, "big")
+
+
+def sort_by_distance(ids: list[int], target: int) -> list[int]:
+    """Ids sorted by XOR distance to ``target`` (ties impossible for
+    distinct ids)."""
+    return sorted(ids, key=lambda i: xor_distance(i, target))

@@ -1,0 +1,406 @@
+"""Kademlia node: RPCs and the iterative lookup state machine.
+
+Implements the classic protocol (k-buckets, α-parallel iterative
+FIND_NODE/FIND_VALUE, STORE replication to the k closest) plus the two
+proximity techniques studied by Kaune et al. [17] for reducing inter-AS
+DHT traffic:
+
+- **PNS** (proximity neighbor selection): k-buckets retain the
+  lowest-RTT contacts (see :class:`~repro.overlay.kademlia.kbucket.KBucket`);
+- **PR** (proximity routing): among equally useful next hops the lookup
+  queries the lowest-RTT one first.
+
+RTTs are *measured*, not oracular: every RPC reply is timed on the
+simulation clock and the observed RTT is attached to the contact before
+it enters the routing table.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import OverlayError
+from repro.overlay.base import OverlayNode
+from repro.overlay.kademlia.id_space import validate_id, xor_distance
+from repro.overlay.kademlia.kbucket import Contact
+from repro.overlay.kademlia.routing_table import RoutingTable
+from repro.sim.engine import EventHandle, Simulation
+from repro.sim.messages import Message, MessageBus
+from repro.underlay.hosts import Host
+
+#: Approximate RPC sizes (bytes): header + ids/contact list.
+RPC_REQUEST_SIZE = 72
+RPC_REPLY_BASE = 40
+CONTACT_WIRE_SIZE = 26
+
+
+@dataclass(frozen=True)
+class KademliaConfig:
+    """Protocol constants: k, alpha, proximity modes, RPC timeout."""
+    k: int = 8
+    alpha: int = 3
+    proximity_buckets: bool = False   # PNS
+    proximity_routing: bool = False   # PR
+    rpc_timeout_ms: float = 1500.0
+    max_rounds: int = 32
+
+    def __post_init__(self) -> None:
+        if self.k < 1 or self.alpha < 1:
+            raise OverlayError("k and alpha must be >= 1")
+        if self.rpc_timeout_ms <= 0:
+            raise OverlayError("rpc timeout must be positive")
+
+
+@dataclass
+class LookupResult:
+    """Outcome of one iterative lookup: closest contacts, values, timing."""
+    target: int
+    closest: list[Contact] = field(default_factory=list)
+    values: set[int] = field(default_factory=set)
+    found_value: bool = False
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    rpcs_sent: int = 0
+    timeouts: int = 0
+
+    @property
+    def latency_ms(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class _Lookup:
+    """One iterative lookup in flight."""
+
+    _NEW, _INFLIGHT, _DONE, _FAILED = range(4)
+
+    def __init__(
+        self,
+        node: "KademliaNode",
+        target: int,
+        *,
+        find_value: bool,
+        on_done: Callable[[LookupResult], None],
+    ) -> None:
+        self.node = node
+        self.target = validate_id(target)
+        self.find_value = find_value
+        self.on_done = on_done
+        self.result = LookupResult(target=target, started_at=node.sim.now)
+        self.state: dict[int, int] = {}
+        self.contact_of: dict[int, Contact] = {}
+        self.finished = False
+        for c in node.routing_table.closest(target, node.config.k):
+            self._add_candidate(c)
+
+    def _add_candidate(self, contact: Contact) -> None:
+        if contact.node_id == self.node.node_id:
+            return
+        if contact.node_id not in self.state:
+            self.state[contact.node_id] = self._NEW
+            self.contact_of[contact.node_id] = contact
+        elif contact.rtt_ms < self.contact_of[contact.node_id].rtt_ms:
+            self.contact_of[contact.node_id] = contact
+
+    def _k_closest_ids(self) -> list[int]:
+        ids = [i for i, s in self.state.items() if s != self._FAILED]
+        ids.sort(key=lambda i: xor_distance(i, self.target))
+        return ids[: self.node.config.k]
+
+    def start(self) -> None:
+        self._launch_queries()
+        self._check_done()
+
+    def _launch_queries(self) -> None:
+        cfg = self.node.config
+        inflight = sum(1 for s in self.state.values() if s == self._INFLIGHT)
+        budget = cfg.alpha - inflight
+        if budget <= 0:
+            return
+        candidates = [
+            i for i in self._k_closest_ids() if self.state[i] == self._NEW
+        ]
+        if cfg.proximity_routing:
+            # PR: among the useful candidates, lowest measured RTT first
+            candidates.sort(
+                key=lambda i: (self.contact_of[i].rtt_ms,
+                               xor_distance(i, self.target))
+            )
+        for nid in candidates[:budget]:
+            self.state[nid] = self._INFLIGHT
+            self.node._send_lookup_rpc(self, self.contact_of[nid])
+            self.result.rpcs_sent += 1
+
+    def on_reply(
+        self, responder: Contact, contacts: list[Contact], values: set[int]
+    ) -> None:
+        if self.finished:
+            return
+        if self.state.get(responder.node_id) == self._INFLIGHT:
+            self.state[responder.node_id] = self._DONE
+        self.contact_of[responder.node_id] = responder
+        if self.find_value and values:
+            self.result.values |= values
+            self.result.found_value = True
+            self._finish()
+            return
+        for c in contacts:
+            self._add_candidate(c)
+        self._launch_queries()
+        self._check_done()
+
+    def on_timeout(self, node_id: int) -> None:
+        if self.finished:
+            return
+        if self.state.get(node_id) == self._INFLIGHT:
+            self.state[node_id] = self._FAILED
+            self.result.timeouts += 1
+        self._launch_queries()
+        self._check_done()
+
+    def _check_done(self) -> None:
+        if self.finished:
+            return
+        k_closest = self._k_closest_ids()
+        pending = [i for i in k_closest if self.state[i] in (self._NEW, self._INFLIGHT)]
+        inflight_any = any(s == self._INFLIGHT for s in self.state.values())
+        if not pending and not inflight_any:
+            self._finish()
+
+    def _finish(self) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        self.result.finished_at = self.node.sim.now
+        self.result.closest = [
+            self.contact_of[i]
+            for i in self._k_closest_ids()
+            if self.state[i] == self._DONE
+        ]
+        self.on_done(self.result)
+
+
+class KademliaNode(OverlayNode):
+    """One DHT participant: routing table, storage, RPCs, lookup machine."""
+    def __init__(
+        self,
+        host: Host,
+        sim: Simulation,
+        bus: MessageBus,
+        node_id: int,
+        config: KademliaConfig | None = None,
+        rtt_estimator: Optional[Callable[[int, int], float]] = None,
+    ) -> None:
+        super().__init__(host, sim, bus)
+        self.config = config or KademliaConfig()
+        #: predicts RTT to a host we have not measured yet (e.g. network
+        #: coordinates, §3.2 prediction methods); enables PNS/PR to act on
+        #: heard-of contacts.  Signature: (my_host_id, other_host_id) -> ms.
+        self.rtt_estimator = rtt_estimator
+        self.node_id = validate_id(node_id)
+        self.routing_table = RoutingTable(
+            node_id, k=self.config.k, proximity=self.config.proximity_buckets
+        )
+        self.storage: dict[int, set[int]] = {}
+        self._rpc_seq = itertools.count()
+        # rpc_id -> (lookup, contact, sent_at, timeout handle)
+        self._pending: dict[int, tuple[_Lookup, Contact, float, EventHandle]] = {}
+
+    # -- wire helpers ------------------------------------------------------------
+    def contact(self) -> Contact:
+        return Contact(node_id=self.node_id, host_id=self.host_id)
+
+    def _observe(self, node_id: int, host_id: int, rtt_ms: float) -> None:
+        if not np.isfinite(rtt_ms) and self.rtt_estimator is not None:
+            rtt_ms = float(self.rtt_estimator(self.host_id, host_id))
+        self.routing_table.update(
+            Contact(node_id=node_id, host_id=host_id, rtt_ms=rtt_ms)
+        )
+
+    def _send_lookup_rpc(self, lookup: _Lookup, target_contact: Contact) -> None:
+        rpc_id = next(self._rpc_seq)
+        kind = "FIND_VALUE" if lookup.find_value else "FIND_NODE"
+        handle = self.sim.schedule(
+            self.config.rpc_timeout_ms, self._rpc_timeout, rpc_id
+        )
+        self._pending[rpc_id] = (lookup, target_contact, self.sim.now, handle)
+        self.send(
+            target_contact.host_id,
+            kind,
+            {
+                "rpc_id": rpc_id,
+                "target": lookup.target,
+                "sender_id": self.node_id,
+            },
+            RPC_REQUEST_SIZE,
+        )
+
+    def _rpc_timeout(self, rpc_id: int) -> None:
+        entry = self._pending.pop(rpc_id, None)
+        if entry is None:
+            return
+        lookup, contact, _sent, _handle = entry
+        self.routing_table.remove(contact.node_id)
+        lookup.on_timeout(contact.node_id)
+
+    # -- server side -----------------------------------------------------------------
+    def _reply_contacts(self, msg: Message, with_values: bool) -> None:
+        req = msg.payload
+        target = req["target"]
+        closest = [
+            c
+            for c in self.routing_table.closest(target, self.config.k)
+            if c.host_id != msg.src
+        ]
+        values = self.storage.get(target, set()) if with_values else set()
+        kind = "FIND_VALUE_REPLY" if with_values else "FIND_NODE_REPLY"
+        self.send(
+            msg.src,
+            kind,
+            {
+                "rpc_id": req["rpc_id"],
+                "sender_id": self.node_id,
+                "contacts": [(c.node_id, c.host_id) for c in closest],
+                "values": set(values),
+            },
+            RPC_REPLY_BASE + CONTACT_WIRE_SIZE * len(closest) + 8 * len(values),
+        )
+        # learn the requester
+        self._observe(req["sender_id"], msg.src, rtt_ms=float("inf"))
+
+    def on_find_node(self, msg: Message) -> None:
+        self._reply_contacts(msg, with_values=False)
+
+    def on_find_value(self, msg: Message) -> None:
+        self._reply_contacts(msg, with_values=True)
+
+    def on_store(self, msg: Message) -> None:
+        req = msg.payload
+        self.storage.setdefault(req["key"], set()).add(req["value"])
+        self._observe(req["sender_id"], msg.src, rtt_ms=float("inf"))
+        self.send(
+            msg.src,
+            "STORE_ACK",
+            {"rpc_id": req["rpc_id"], "sender_id": self.node_id},
+            RPC_REPLY_BASE,
+        )
+
+    def on_store_ack(self, msg: Message) -> None:
+        # acks carry no lookup state; just refresh the contact
+        rep = msg.payload
+        self._observe(rep["sender_id"], msg.src, rtt_ms=float("inf"))
+
+    # -- client side --------------------------------------------------------------------
+    def _on_lookup_reply(self, msg: Message) -> None:
+        rep = msg.payload
+        entry = self._pending.pop(rep["rpc_id"], None)
+        if entry is None:
+            return  # reply after timeout
+        lookup, contact, sent_at, handle = entry
+        handle.cancel()
+        rtt = self.sim.now - sent_at
+        responder = Contact(
+            node_id=rep["sender_id"], host_id=msg.src, rtt_ms=rtt
+        )
+        self._observe(responder.node_id, responder.host_id, rtt)
+        contacts = [
+            Contact(node_id=nid, host_id=hid)
+            for nid, hid in rep["contacts"]
+        ]
+        for c in contacts:
+            # heard-of (not measured) contacts enter the lookup, and the
+            # routing table only if there is room / they win on proximity
+            self._observe(c.node_id, c.host_id, rtt_ms=float("inf"))
+        lookup.on_reply(responder, contacts, set(rep.get("values", ())))
+
+    def on_find_node_reply(self, msg: Message) -> None:
+        self._on_lookup_reply(msg)
+
+    def on_find_value_reply(self, msg: Message) -> None:
+        self._on_lookup_reply(msg)
+
+    # -- public operations ---------------------------------------------------------------
+    def iterative_find_node(
+        self, target: int, on_done: Callable[[LookupResult], None]
+    ) -> _Lookup:
+        lookup = _Lookup(self, target, find_value=False, on_done=on_done)
+        lookup.start()
+        return lookup
+
+    def iterative_find_value(
+        self, key: int, on_done: Callable[[LookupResult], None]
+    ) -> _Lookup:
+        if key in self.storage:
+            # local hit: resolve immediately
+            res = LookupResult(
+                target=key,
+                values=set(self.storage[key]),
+                found_value=True,
+                started_at=self.sim.now,
+                finished_at=self.sim.now,
+            )
+            on_done(res)
+            lookup = _Lookup(self, key, find_value=True, on_done=lambda r: None)
+            lookup.finished = True
+            return lookup
+        lookup = _Lookup(self, key, find_value=True, on_done=on_done)
+        lookup.start()
+        return lookup
+
+    def store_value(
+        self,
+        key: int,
+        value: int,
+        on_done: Optional[Callable[[LookupResult], None]] = None,
+    ) -> None:
+        """Publish ``value`` under ``key`` on the k closest nodes."""
+
+        def _store_at(result: LookupResult) -> None:
+            for c in result.closest:
+                rpc_id = next(self._rpc_seq)
+                self.send(
+                    c.host_id,
+                    "STORE",
+                    {
+                        "rpc_id": rpc_id,
+                        "key": key,
+                        "value": value,
+                        "sender_id": self.node_id,
+                    },
+                    RPC_REQUEST_SIZE + 8,
+                )
+            # store locally too if we are among the closest... Kademlia
+            # leaves this to the k-closest rule; keep the simple variant.
+            if on_done is not None:
+                on_done(result)
+
+        self.iterative_find_node(key, _store_at)
+
+    def bootstrap(self, seeds: list[Contact], on_done=None) -> None:
+        """Insert seed contacts and look up our own id to fill buckets."""
+        for s in seeds:
+            if s.node_id != self.node_id:
+                self.routing_table.update(s)
+        self.iterative_find_node(self.node_id, on_done or (lambda r: None))
+
+    # -- maintenance ---------------------------------------------------------------
+    def refresh_buckets(self, rng=None, *, max_buckets: int = 3) -> int:
+        """Kademlia bucket refresh: look up a random id inside each of up
+        to ``max_buckets`` of the emptiest non-trivial buckets, repairing
+        routing state lost to churn.  Returns lookups started."""
+        from repro.overlay.kademlia.id_space import random_id_in_bucket
+
+        candidates = sorted(
+            (i for i, b in enumerate(self.routing_table.buckets)
+             if 0 < len(b) < self.config.k),
+            key=lambda i: len(self.routing_table.buckets[i]),
+        )
+        started = 0
+        for bucket in candidates[:max_buckets]:
+            target = random_id_in_bucket(self.node_id, bucket, rng)
+            self.iterative_find_node(target, lambda r: None)
+            started += 1
+        return started

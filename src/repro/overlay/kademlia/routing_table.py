@@ -1,0 +1,60 @@
+"""Kademlia routing table: 160 k-buckets keyed by shared-prefix length."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from repro.errors import OverlayError
+from repro.overlay.kademlia.id_space import (
+    ID_BITS,
+    bucket_index,
+    validate_id,
+    xor_distance,
+)
+from repro.overlay.kademlia.kbucket import Contact, KBucket
+
+
+class RoutingTable:
+    """160 k-buckets indexed by shared-prefix length with the owner id."""
+    def __init__(self, own_id: int, *, k: int = 8, proximity: bool = False) -> None:
+        self.own_id = validate_id(own_id)
+        self.k = k
+        self.proximity = proximity
+        self.buckets = [KBucket(k=k, proximity=proximity) for _ in range(ID_BITS)]
+
+    def update(self, contact: Contact) -> bool:
+        """Record that we heard from ``contact``; returns True if retained."""
+        if contact.node_id == self.own_id:
+            return False
+        return self.buckets[bucket_index(self.own_id, contact.node_id)].update(contact)
+
+    def remove(self, node_id: int) -> None:
+        if node_id == self.own_id:
+            return
+        self.buckets[bucket_index(self.own_id, node_id)].remove(node_id)
+
+    def get(self, node_id: int) -> Optional[Contact]:
+        if node_id == self.own_id:
+            return None
+        return self.buckets[bucket_index(self.own_id, node_id)].get(node_id)
+
+    def all_contacts(self) -> list[Contact]:
+        out: list[Contact] = []
+        for b in self.buckets:
+            out.extend(b.contacts())
+        return out
+
+    def closest(self, target: int, count: Optional[int] = None) -> list[Contact]:
+        """The ``count`` contacts closest to ``target`` by XOR distance."""
+        count = self.k if count is None else count
+        target = validate_id(target)
+        return heapq.nsmallest(
+            count, self.all_contacts(), key=lambda c: xor_distance(c.node_id, target)
+        )
+
+    def size(self) -> int:
+        return sum(len(b) for b in self.buckets)
+
+    def nonempty_buckets(self) -> list[int]:
+        return [i for i, b in enumerate(self.buckets) if len(b)]

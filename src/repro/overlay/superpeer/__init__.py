@@ -1,0 +1,9 @@
+"""Resource-aware hybrid (super-peer) overlay (§2.3 / [11])."""
+
+from repro.overlay.superpeer.hybrid import (
+    ElectionPolicy,
+    HybridReport,
+    SuperPeerOverlay,
+)
+
+__all__ = ["ElectionPolicy", "HybridReport", "SuperPeerOverlay"]

@@ -1,0 +1,39 @@
+"""Deterministic random-number utilities.
+
+Every stochastic component in the library accepts either an integer seed or
+a pre-built :class:`numpy.random.Generator`.  :func:`ensure_rng` normalises
+both spellings; :func:`spawn` derives independent child generators so that
+subsystems (topology generation, churn, workload) do not perturb each
+other's streams when one of them changes how many draws it makes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` produces a fresh nondeterministic generator; an ``int`` seeds a
+    PCG64 stream; an existing generator is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``rng``.
+
+    Uses the generator's bit-stream to draw child seeds, which keeps the
+    derivation deterministic for a seeded parent.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,29 @@
+"""Discrete-event simulation kernel.
+
+Public surface:
+
+- :class:`~repro.sim.engine.Simulation` — deterministic event loop.
+- :class:`~repro.sim.process.PeriodicProcess` — recurring maintenance loops.
+- :class:`~repro.sim.messages.MessageBus` / :class:`~repro.sim.messages.Message`
+  — latency-aware unicast between endpoints.
+- :class:`~repro.sim.churn.ChurnProcess` / :class:`~repro.sim.churn.ChurnConfig`
+  — peer session dynamics.
+"""
+
+from repro.sim.churn import ChurnConfig, ChurnProcess, draw_duration
+from repro.sim.engine import EventHandle, Simulation
+from repro.sim.messages import BusStats, Message, MessageBus
+from repro.sim.process import PeriodicProcess, call_after
+
+__all__ = [
+    "BusStats",
+    "ChurnConfig",
+    "ChurnProcess",
+    "EventHandle",
+    "Message",
+    "MessageBus",
+    "PeriodicProcess",
+    "Simulation",
+    "call_after",
+    "draw_duration",
+]

@@ -1,0 +1,143 @@
+"""Message-passing layer between simulated hosts.
+
+The :class:`MessageBus` delivers messages between endpoints with a latency
+obtained from a pluggable :class:`LatencyProvider` (in practice the underlay
+model), and reports every delivery to zero or more traffic observers so
+that experiments can account intra-AS / peering / transit bytes without the
+protocols knowing about accounting.
+
+Protocols deliver to *endpoint ids* (opaque hashable values, typically
+host ids); receivers register a handler callable per endpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Optional, Protocol
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulation
+
+
+class LatencyProvider(Protocol):
+    """Anything that can answer one-way delay between two endpoints."""
+
+    def one_way_delay(self, src: Hashable, dst: Hashable) -> float:
+        """One-way delay (same time unit as the simulation clock)."""
+        ...
+
+
+class TrafficObserver(Protocol):
+    """Callback protocol for per-message accounting."""
+
+    def observe(self, src: Hashable, dst: Hashable, size_bytes: int, kind: str) -> None:
+        ...
+
+
+@dataclass
+class Message:
+    """An in-flight protocol message.
+
+    ``kind`` is a protocol-defined tag (e.g. ``"QUERY"``); ``payload`` is an
+    arbitrary protocol object.  ``size_bytes`` feeds traffic accounting only —
+    delivery latency is independent of size (the surveyed systems reason
+    about propagation delay, not bandwidth-limited transfer; bulk transfer
+    is modelled separately by the BitTorrent swarm).
+    """
+
+    src: Hashable
+    dst: Hashable
+    kind: str
+    payload: Any = None
+    size_bytes: int = 64
+
+
+@dataclass
+class BusStats:
+    """Aggregate counters maintained by the bus."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_no_handler: int = 0
+    dropped_loss: int = 0
+    bytes_sent: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+
+
+class MessageBus:
+    """Latency-aware unicast message delivery between registered endpoints.
+
+    Sending to an unregistered endpoint is not an error at send time — the
+    peer may have churned out while the message was in flight — the message
+    is counted as dropped on arrival instead, mirroring UDP semantics.
+
+    ``loss_rate`` injects network failures: each message is independently
+    dropped in flight with that probability (after being counted as sent
+    and observed by traffic accounting, as a really lost packet would be).
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        latency: LatencyProvider,
+        *,
+        loss_rate: float = 0.0,
+        loss_seed: int = 0,
+    ) -> None:
+        if not (0.0 <= loss_rate < 1.0):
+            raise SimulationError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self._sim = sim
+        self._latency = latency
+        self._handlers: dict[Hashable, Callable[[Message], None]] = {}
+        self._observers: list[TrafficObserver] = []
+        self.loss_rate = loss_rate
+        self._loss_rng = (
+            __import__("numpy").random.default_rng(loss_seed) if loss_rate else None
+        )
+        self.stats = BusStats()
+
+    def register(self, endpoint: Hashable, handler: Callable[[Message], None]) -> None:
+        """Attach ``handler`` to ``endpoint``; replaces any previous handler."""
+        self._handlers[endpoint] = handler
+
+    def unregister(self, endpoint: Hashable) -> None:
+        self._handlers.pop(endpoint, None)
+
+    def is_registered(self, endpoint: Hashable) -> bool:
+        return endpoint in self._handlers
+
+    def add_observer(self, observer: TrafficObserver) -> None:
+        self._observers.append(observer)
+
+    def send(
+        self,
+        src: Hashable,
+        dst: Hashable,
+        kind: str,
+        payload: Any = None,
+        size_bytes: int = 64,
+        extra_delay: float = 0.0,
+    ) -> Message:
+        """Send a message; it arrives after the underlay one-way delay."""
+        if size_bytes < 0:
+            raise SimulationError(f"negative message size: {size_bytes}")
+        msg = Message(src=src, dst=dst, kind=kind, payload=payload, size_bytes=size_bytes)
+        delay = self._latency.one_way_delay(src, dst) + extra_delay
+        self.stats.sent += 1
+        self.stats.bytes_sent += size_bytes
+        self.stats.by_kind[kind] = self.stats.by_kind.get(kind, 0) + 1
+        for obs in self._observers:
+            obs.observe(src, dst, size_bytes, kind)
+        if self._loss_rng is not None and self._loss_rng.random() < self.loss_rate:
+            self.stats.dropped_loss += 1
+            return msg
+        self._sim.schedule(delay, self._deliver, msg)
+        return msg
+
+    def _deliver(self, msg: Message) -> None:
+        handler = self._handlers.get(msg.dst)
+        if handler is None:
+            self.stats.dropped_no_handler += 1
+            return
+        self.stats.delivered += 1
+        handler(msg)

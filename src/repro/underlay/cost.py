@@ -1,0 +1,116 @@
+"""ISP cost model: transit vs peering economics (Figure 2 of the survey).
+
+Following Norton's business case for ISP peering [24], which the survey
+summarises in §2.1:
+
+- **Transit** is billed per Mbps of peak utilisation (sampled peak, usually
+  the 95th percentile of 5-minute samples over a month).  The *per-Mbps
+  price is roughly constant*, so total transit cost grows proportionally
+  with traffic.
+- **Peering** links carry a *flat* cost (circuit + colocation + equipment
+  amortisation), so the effective cost per Mbps is inversely proportional
+  to the traffic exchanged.
+
+The crossover traffic level — where peering becomes cheaper than transit —
+is the economic argument for locality of P2P traffic: biased neighbor
+selection shifts P2P bytes from transit links onto peering links whose
+marginal cost is zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Representative 2008-era prices (USD / month)."""
+
+    transit_usd_per_mbps_month: float = 12.0
+    peering_flat_usd_month: float = 2500.0   # circuit + colo + amortised gear
+    billing_percentile: float = 95.0
+
+    def __post_init__(self) -> None:
+        if self.transit_usd_per_mbps_month <= 0:
+            raise ConfigurationError("transit price must be positive")
+        if self.peering_flat_usd_month <= 0:
+            raise ConfigurationError("peering flat cost must be positive")
+        if not (0 < self.billing_percentile <= 100):
+            raise ConfigurationError("billing percentile must be in (0, 100]")
+
+
+class CostModel:
+    """Monthly-cost calculations for transit and peering links."""
+
+    def __init__(self, params: CostParams | None = None) -> None:
+        self.params = params or CostParams()
+
+    # -- billing primitives ---------------------------------------------------
+    def billable_mbps(
+        self, sample_rates_mbps: Sequence[float], percentile: float | None = None
+    ) -> float:
+        """Sampled-peak billing: the percentile of the 5-minute rate samples."""
+        rates = np.asarray(list(sample_rates_mbps), dtype=float)
+        if rates.size == 0:
+            return 0.0
+        if (rates < 0).any():
+            raise ConfigurationError("rate samples must be non-negative")
+        p = self.params.billing_percentile if percentile is None else percentile
+        return float(np.percentile(rates, p))
+
+    def transit_monthly_cost(self, billable_mbps: float) -> float:
+        """Total monthly transit bill for the given billable rate."""
+        if billable_mbps < 0:
+            raise ConfigurationError("billable rate must be non-negative")
+        return billable_mbps * self.params.transit_usd_per_mbps_month
+
+    def peering_monthly_cost(self, traffic_mbps: float = 0.0) -> float:
+        """Monthly cost of a peering link — flat, independent of traffic."""
+        if traffic_mbps < 0:
+            raise ConfigurationError("traffic must be non-negative")
+        return self.params.peering_flat_usd_month
+
+    # -- Figure 2 relations ----------------------------------------------------
+    def transit_cost_per_mbps(self, traffic_mbps: float) -> float:
+        """~Constant: the defining property of transit pricing."""
+        if traffic_mbps <= 0:
+            raise ConfigurationError("traffic must be positive for unit cost")
+        return self.transit_monthly_cost(traffic_mbps) / traffic_mbps
+
+    def peering_cost_per_mbps(self, traffic_mbps: float) -> float:
+        """~1/traffic: flat cost amortised over exchanged traffic."""
+        if traffic_mbps <= 0:
+            raise ConfigurationError("traffic must be positive for unit cost")
+        return self.peering_monthly_cost(traffic_mbps) / traffic_mbps
+
+    def crossover_mbps(self) -> float:
+        """Traffic level above which peering is cheaper than transit."""
+        return (
+            self.params.peering_flat_usd_month
+            / self.params.transit_usd_per_mbps_month
+        )
+
+    def figure2_series(
+        self, traffic_mbps: Sequence[float]
+    ) -> list[dict[str, float]]:
+        """Regenerate the Figure 2 curves: total and per-Mbps cost for both
+        link classes across a traffic sweep."""
+        rows = []
+        for t in traffic_mbps:
+            if t <= 0:
+                raise ConfigurationError("traffic sweep values must be positive")
+            rows.append(
+                {
+                    "traffic_mbps": float(t),
+                    "transit_total_usd": self.transit_monthly_cost(t),
+                    "peering_total_usd": self.peering_monthly_cost(t),
+                    "transit_per_mbps_usd": self.transit_cost_per_mbps(t),
+                    "peering_per_mbps_usd": self.peering_cost_per_mbps(t),
+                }
+            )
+        return rows

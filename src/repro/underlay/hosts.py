@@ -1,0 +1,180 @@
+"""End hosts (peers) attached to the AS topology.
+
+Each host lives in one AS, has a geographic position inside that ISP's
+service area, an access-link latency, and a :class:`PeerResources` record —
+the §2.3 parameters (bandwidth, processing power, storage, memory, online
+time) consumed by resource-aware overlays and by the SkyEye-style
+information management overlay.
+
+:class:`HostFactory` draws a heterogeneous population from access-class
+templates (dial-up / DSL / cable / fiber), matching the survey's premise
+that peers differ widely in capability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.rng import SeedLike, ensure_rng
+from repro.underlay.autonomous_system import Tier
+from repro.underlay.geometry import Position, scatter_around
+from repro.underlay.topology import InternetTopology
+
+
+@dataclass(frozen=True)
+class PeerResources:
+    """Capability vector of a peer (§2.3 of the survey)."""
+
+    bandwidth_down_kbps: float
+    bandwidth_up_kbps: float
+    cpu_ops: float           # abstract processing capacity
+    storage_gb: float
+    memory_mb: float
+    avg_online_hours: float  # expected session stability
+
+    def __post_init__(self) -> None:
+        for name in (
+            "bandwidth_down_kbps",
+            "bandwidth_up_kbps",
+            "cpu_ops",
+            "storage_gb",
+            "memory_mb",
+            "avg_online_hours",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+    def capacity_score(self) -> float:
+        """Scalar super-peer fitness: upstream bandwidth dominates, weighted
+        by stability — the standard super-peer election criterion."""
+        return (
+            self.bandwidth_up_kbps / 1000.0
+            + 0.2 * self.cpu_ops
+            + 0.05 * self.memory_mb / 100.0
+        ) * min(self.avg_online_hours / 4.0, 2.0)
+
+
+#: Access-class templates: (name, weight, resources, access latency ms range)
+ACCESS_CLASSES: tuple[tuple[str, float, PeerResources, tuple[float, float]], ...] = (
+    (
+        "dialup",
+        0.05,
+        PeerResources(56, 33, 0.5, 5, 256, 1.0),
+        (80.0, 150.0),
+    ),
+    # Access-latency ranges overlap heavily across the broadband classes:
+    # last-mile RTT is dominated by distance to the DSLAM/head-end rather
+    # than by the medium, so latency rank is only a weak bandwidth signal.
+    (
+        "dsl",
+        0.45,
+        PeerResources(6000, 640, 1.0, 60, 1024, 3.0),
+        (8.0, 35.0),
+    ),
+    (
+        "cable",
+        0.35,
+        PeerResources(16000, 2000, 2.0, 120, 2048, 5.0),
+        (6.0, 30.0),
+    ),
+    (
+        "fiber",
+        0.15,
+        PeerResources(50000, 25000, 4.0, 500, 4096, 8.0),
+        (3.0, 20.0),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class Host:
+    """A peer endpoint in the underlay."""
+
+    host_id: int
+    asn: int
+    position: Position
+    access_latency_ms: float
+    resources: PeerResources
+    access_class: str = "dsl"
+
+    def __post_init__(self) -> None:
+        if self.access_latency_ms < 0:
+            raise ConfigurationError("access latency must be non-negative")
+
+
+class HostFactory:
+    """Populates stub ASes with a heterogeneous host population."""
+
+    def __init__(
+        self,
+        topology: InternetTopology,
+        *,
+        host_spread_km: float = 250.0,
+        rng: SeedLike = None,
+    ) -> None:
+        # The default spread is comparable to the region spread so that the
+        # service areas of different ISPs in one region overlap — two
+        # geographically close hosts frequently use different ISPs, the
+        # geolocation/latency de-correlation of the survey's §2.4.
+        self.topology = topology
+        self.host_spread_km = host_spread_km
+        self._rng = ensure_rng(rng)
+
+    def create_hosts(
+        self,
+        n_hosts: int,
+        *,
+        asns: Optional[Sequence[int]] = None,
+        start_id: int = 0,
+    ) -> list[Host]:
+        """Create ``n_hosts`` hosts spread round-robin-with-noise over
+        ``asns`` (default: all stub ASes).
+
+        Round-robin assignment keeps per-AS populations balanced (the
+        testlab reproduction needs exactly equal shares); the shuffle of
+        the AS order is seeded, so results are reproducible.
+        """
+        if n_hosts < 0:
+            raise ConfigurationError("n_hosts must be non-negative")
+        target_asns = list(asns) if asns is not None else self.topology.stub_asns()
+        if not target_asns:
+            raise TopologyError("no ASes available to attach hosts to")
+        for asn in target_asns:
+            self.topology.asys(asn)  # validate
+
+        names = [c[0] for c in ACCESS_CLASSES]
+        weights = np.array([c[1] for c in ACCESS_CLASSES], dtype=float)
+        weights = weights / weights.sum()
+        class_idx = self._rng.choice(len(ACCESS_CLASSES), size=n_hosts, p=weights)
+
+        hosts: list[Host] = []
+        for i in range(n_hosts):
+            asn = target_asns[i % len(target_asns)]
+            asys = self.topology.asys(asn)
+            pos = scatter_around(asys.position, self.host_spread_km, 1, self._rng)[0]
+            name, _w, res, (lo, hi) = ACCESS_CLASSES[int(class_idx[i])]
+            latency = float(self._rng.uniform(lo, hi))
+            # Give each host a small individual spin on the template so the
+            # population is continuous rather than four point masses.
+            jitter = float(self._rng.uniform(0.8, 1.2))
+            res_i = replace(
+                res,
+                bandwidth_down_kbps=res.bandwidth_down_kbps * jitter,
+                bandwidth_up_kbps=res.bandwidth_up_kbps * jitter,
+                avg_online_hours=res.avg_online_hours * float(self._rng.uniform(0.5, 1.5)),
+            )
+            hosts.append(
+                Host(
+                    host_id=start_id + i,
+                    asn=asn,
+                    position=pos,
+                    access_latency_ms=latency,
+                    resources=res_i,
+                    access_class=name,
+                )
+            )
+        return hosts

@@ -1,0 +1,158 @@
+"""Mobility: peers that change their attachment point over time (§6).
+
+The survey's mobile-support challenge: "some underlay provided
+information such as ISP-location and latency no longer apply because of
+continuous variation, or at least this might introduce additional
+overhead."  This module generates *attachment traces* — a subset of
+hosts re-homes to a different AS at exponential intervals (a phone
+hopping between cellular/wifi providers, a laptop commuting) — and
+quantifies exactly that trade-off:
+
+- :func:`cached_info_accuracy` — how fast a one-shot ISP-location
+  snapshot decays as peers move;
+- :func:`refresh_tradeoff` — accuracy vs re-query overhead for a range of
+  refresh intervals, the curve a mobility-aware system must pick from.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, ensure_rng
+from repro.underlay.network import Underlay
+
+
+@dataclass(frozen=True)
+class MobilityConfig:
+    """Which fraction of peers move, and how often."""
+
+    mobile_fraction: float = 0.3
+    mean_dwell_h: float = 2.0        # mean time between attachment changes
+    roam_within_region: bool = True  # phones usually hop between local ISPs
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.mobile_fraction <= 1.0):
+            raise ConfigurationError("mobile_fraction must be a probability")
+        if self.mean_dwell_h <= 0:
+            raise ConfigurationError("mean dwell time must be positive")
+
+
+@dataclass
+class MobilityTrace:
+    """Per-host attachment timelines: sorted (time_h, asn) change points."""
+
+    initial_asn: dict[int, int]
+    moves: dict[int, list[tuple[float, int]]] = field(default_factory=dict)
+    horizon_h: float = 24.0
+
+    def asn_at(self, host_id: int, t_h: float) -> int:
+        """The AS a host is attached to at time ``t_h``."""
+        if host_id not in self.initial_asn:
+            raise ConfigurationError(f"host {host_id} not in trace")
+        asn = self.initial_asn[host_id]
+        timeline = self.moves.get(host_id, [])
+        times = [m[0] for m in timeline]
+        k = bisect.bisect_right(times, t_h)
+        if k:
+            asn = timeline[k - 1][1]
+        return asn
+
+    def mobile_hosts(self) -> list[int]:
+        return sorted(self.moves)
+
+    def total_moves(self) -> int:
+        return sum(len(m) for m in self.moves.values())
+
+
+def generate_mobility(
+    underlay: Underlay,
+    config: MobilityConfig | None = None,
+    *,
+    horizon_h: float = 24.0,
+    rng: SeedLike = None,
+) -> MobilityTrace:
+    """Draw a mobility trace over the underlay's host population."""
+    if horizon_h <= 0:
+        raise ConfigurationError("horizon must be positive")
+    config = config or MobilityConfig()
+    rng = ensure_rng(rng)
+    hosts = underlay.hosts
+    n_mobile = int(round(config.mobile_fraction * len(hosts)))
+    idx = rng.choice(len(hosts), size=n_mobile, replace=False)
+    trace = MobilityTrace(
+        initial_asn={h.host_id: h.asn for h in hosts}, horizon_h=horizon_h
+    )
+    stub_asns = underlay.topology.stub_asns()
+    by_region: dict[int, list[int]] = {}
+    for asn in stub_asns:
+        by_region.setdefault(underlay.topology.asys(asn).region, []).append(asn)
+    for i in idx:
+        host = hosts[int(i)]
+        timeline: list[tuple[float, int]] = []
+        t = float(rng.exponential(config.mean_dwell_h))
+        current = host.asn
+        while t < horizon_h:
+            region = underlay.topology.asys(current).region
+            pool = (
+                by_region.get(region, stub_asns)
+                if config.roam_within_region
+                else stub_asns
+            )
+            choices = [a for a in pool if a != current] or [current]
+            current = int(choices[int(rng.integers(len(choices)))])
+            timeline.append((t, current))
+            t += float(rng.exponential(config.mean_dwell_h))
+        trace.moves[host.host_id] = timeline
+    return trace
+
+
+def cached_info_accuracy(
+    trace: MobilityTrace, at_times_h: Sequence[float]
+) -> list[dict[str, float]]:
+    """Accuracy of a t=0 ISP-location snapshot at later times."""
+    rows = []
+    hosts = list(trace.initial_asn)
+    for t in at_times_h:
+        if t < 0:
+            raise ConfigurationError("query times must be non-negative")
+        correct = sum(
+            trace.asn_at(h, t) == trace.initial_asn[h] for h in hosts
+        )
+        rows.append({"t_h": float(t), "accuracy": correct / len(hosts)})
+    return rows
+
+
+def refresh_tradeoff(
+    trace: MobilityTrace,
+    refresh_intervals_h: Sequence[float],
+    *,
+    query_bytes: int = 128,
+) -> list[dict[str, float]]:
+    """Mean cached-mapping accuracy and re-query overhead per refresh
+    interval over the trace horizon — the §6 mobility trade-off curve."""
+    hosts = list(trace.initial_asn)
+    rows = []
+    for interval in refresh_intervals_h:
+        if interval <= 0:
+            raise ConfigurationError("refresh interval must be positive")
+        sample_times = np.arange(0.0, trace.horizon_h, trace.horizon_h / 48.0)
+        hits = total = 0
+        for t in sample_times:
+            last_refresh = np.floor(t / interval) * interval
+            for h in hosts:
+                total += 1
+                hits += trace.asn_at(h, t) == trace.asn_at(h, last_refresh)
+        refreshes = int(np.ceil(trace.horizon_h / interval)) * len(hosts)
+        rows.append(
+            {
+                "refresh_interval_h": float(interval),
+                "mean_accuracy": hits / total,
+                "refresh_bytes": refreshes * query_bytes,
+            }
+        )
+    return rows

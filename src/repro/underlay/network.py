@@ -1,0 +1,164 @@
+"""The :class:`Underlay` facade: topology + routing + latency + hosts +
+traffic accounting behind one object.
+
+This is the substrate every experiment starts from::
+
+    underlay = Underlay.generate(UnderlayConfig(n_hosts=200, seed=42))
+    sim = Simulation()
+    bus = underlay.message_bus(sim)
+
+The facade implements the :class:`~repro.sim.messages.LatencyProvider`
+protocol over *host ids*, precomputing the all-pairs host latency matrix so
+per-message delay lookups are O(1) array reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.rng import SeedLike, ensure_rng, spawn
+from repro.sim.engine import Simulation
+from repro.sim.messages import MessageBus
+from repro.underlay.cost import CostModel, CostParams
+from repro.underlay.hosts import Host, HostFactory
+from repro.underlay.latency import LatencyConfig, LatencyModel
+from repro.underlay.routing import ASRouting
+from repro.underlay.topology import InternetTopology, TopologyConfig, generate_topology
+from repro.underlay.traffic import TrafficAccountant
+
+
+@dataclass(frozen=True)
+class UnderlayConfig:
+    """One-stop configuration for a generated underlay."""
+
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
+    latency: LatencyConfig = field(default_factory=LatencyConfig)
+    cost: CostParams = field(default_factory=CostParams)
+    n_hosts: int = 200
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_hosts < 0:
+            raise ConfigurationError("n_hosts must be non-negative")
+
+
+class Underlay:
+    """A fully materialised synthetic Internet with an attached host
+    population.  Use :meth:`generate` for the common path."""
+
+    def __init__(
+        self,
+        topology: InternetTopology,
+        hosts: Sequence[Host],
+        *,
+        latency_config: LatencyConfig | None = None,
+        cost_params: CostParams | None = None,
+    ) -> None:
+        self.topology = topology
+        self.routing = ASRouting(topology)
+        self.latency = LatencyModel(topology, self.routing, latency_config)
+        self.cost_model = CostModel(cost_params)
+        self.hosts: list[Host] = list(hosts)
+        self._host_by_id: dict[int, Host] = {h.host_id: h for h in self.hosts}
+        if len(self._host_by_id) != len(self.hosts):
+            raise TopologyError("duplicate host ids in underlay")
+        self._index_of = {h.host_id: i for i, h in enumerate(self.hosts)}
+        self._latency_matrix: Optional[np.ndarray] = None
+
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def generate(cls, config: UnderlayConfig | None = None) -> "Underlay":
+        config = config or UnderlayConfig()
+        rng = ensure_rng(config.seed)
+        topo_rng, host_rng = spawn(rng, 2)
+        topo_cfg = config.topology
+        if topo_cfg.seed is None:
+            # thread the master seed into topology generation
+            topo_cfg = TopologyConfig(
+                **{
+                    **{f: getattr(topo_cfg, f) for f in topo_cfg.__dataclass_fields__},
+                    "seed": topo_rng,
+                }
+            )
+        topology = generate_topology(topo_cfg)
+        factory = HostFactory(topology, rng=host_rng)
+        hosts = factory.create_hosts(config.n_hosts)
+        return cls(
+            topology,
+            hosts,
+            latency_config=config.latency,
+            cost_params=config.cost,
+        )
+
+    # -- host queries ------------------------------------------------------------
+    @staticmethod
+    def _host_id_of(endpoint: Hashable) -> int:
+        """Bus endpoints are either bare host ids or ("service", host_id)
+        tuples when several services share one host; both resolve here."""
+        if isinstance(endpoint, tuple):
+            endpoint = endpoint[-1]
+        return int(endpoint)
+
+    def host(self, host_id: int) -> Host:
+        try:
+            return self._host_by_id[host_id]
+        except KeyError:
+            raise TopologyError(f"unknown host id {host_id}") from None
+
+    def asn_of(self, host_id: Hashable) -> int:
+        return self.host(self._host_id_of(host_id)).asn
+
+    def host_ids(self) -> list[int]:
+        return [h.host_id for h in self.hosts]
+
+    def hosts_in_as(self, asn: int) -> list[Host]:
+        return [h for h in self.hosts if h.asn == asn]
+
+    def as_hops(self, host_a: int, host_b: int) -> int:
+        """AS-hop distance between two hosts' ASes."""
+        return self.routing.hops(self.asn_of(host_a), self.asn_of(host_b))
+
+    # -- latency -------------------------------------------------------------------
+    @property
+    def latency_matrix(self) -> np.ndarray:
+        """All-pairs one-way host delay matrix (ms), computed lazily once."""
+        if self._latency_matrix is None:
+            self._latency_matrix = self.latency.latency_matrix(self.hosts)
+        return self._latency_matrix
+
+    def rtt_matrix(self) -> np.ndarray:
+        return 2.0 * self.latency_matrix
+
+    def one_way_delay(self, src: Hashable, dst: Hashable) -> float:
+        """LatencyProvider protocol over host ids (ms)."""
+        i = self._index_of[self._host_id_of(src)]
+        j = self._index_of[self._host_id_of(dst)]
+        return float(self.latency_matrix[i, j])
+
+    def one_way_delay_hosts(self, a: Host, b: Host) -> float:
+        return self.one_way_delay(a.host_id, b.host_id)
+
+    # -- simulation plumbing ----------------------------------------------------------
+    def message_bus(
+        self,
+        sim: Simulation,
+        *,
+        with_accounting: bool = True,
+        loss_rate: float = 0.0,
+        loss_seed: int = 0,
+    ) -> tuple[MessageBus, Optional[TrafficAccountant]]:
+        """Create a message bus over this underlay plus (optionally) a
+        traffic accountant already attached as observer.  ``loss_rate``
+        injects in-flight packet loss (failure testing)."""
+        bus = MessageBus(sim, self, loss_rate=loss_rate, loss_seed=loss_seed)
+        accountant: Optional[TrafficAccountant] = None
+        if with_accounting:
+            accountant = TrafficAccountant(
+                self.topology, self.routing, self.asn_of, clock=lambda: sim.now / 1000.0
+            )
+            bus.add_observer(accountant)
+        return bus, accountant

@@ -1,0 +1,128 @@
+"""Valley-free inter-AS routing.
+
+AS paths follow the Gao valley-free rule: a route climbs zero or more
+customer→provider links, optionally crosses a single peering link, then
+descends zero or more provider→customer links.  Among valid routes we pick
+the fewest AS hops (breaking ties deterministically by expansion order),
+which matches how the oracle of Aggarwal et al. ranks candidate peers "by
+AS hops distance".
+
+The per-source search is a BFS over ``(asn, phase)`` states with
+``phase ∈ {UP, PEERED, DOWN}``; results are cached per source AS.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.underlay.autonomous_system import LinkType
+from repro.underlay.topology import InternetTopology
+
+_UP, _PEERED, _DOWN = 0, 1, 2
+
+
+class ASRouting:
+    """All-pairs valley-free routing over an :class:`InternetTopology`."""
+
+    def __init__(self, topology: InternetTopology) -> None:
+        self.topology = topology
+        self._n = topology.n_ases
+        # per-source cache: hops array and predecessor map
+        self._hops_cache: dict[int, np.ndarray] = {}
+        self._pred_cache: dict[int, dict[tuple[int, int], tuple[int, int]]] = {}
+        self._best_state: dict[int, dict[int, tuple[int, int]]] = {}
+
+    # -- BFS over (asn, phase) states --------------------------------------
+    def _expand(self, asn: int, phase: int) -> list[tuple[int, int]]:
+        asys = self.topology.asys(asn)
+        out: list[tuple[int, int]] = []
+        if phase == _UP:
+            for p in sorted(asys.providers):
+                out.append((p, _UP))
+            for q in sorted(asys.peers):
+                out.append((q, _PEERED))
+            for c in sorted(asys.customers):
+                out.append((c, _DOWN))
+        elif phase in (_PEERED, _DOWN):
+            for c in sorted(asys.customers):
+                out.append((c, _DOWN))
+        return out
+
+    def _bfs_from(self, src: int) -> None:
+        if src in self._hops_cache:
+            return
+        self.topology.asys(src)  # validates the ASN
+        hops = np.full(self._n, -1, dtype=np.int32)
+        hops[src] = 0
+        pred: dict[tuple[int, int], tuple[int, int]] = {}
+        best: dict[int, tuple[int, int]] = {src: (src, _UP)}
+        visited = {(src, _UP)}
+        frontier: deque[tuple[int, int, int]] = deque([(src, _UP, 0)])
+        while frontier:
+            asn, phase, d = frontier.popleft()
+            for nxt_asn, nxt_phase in self._expand(asn, phase):
+                state = (nxt_asn, nxt_phase)
+                if state in visited:
+                    continue
+                visited.add(state)
+                pred[state] = (asn, phase)
+                if hops[nxt_asn] < 0:
+                    hops[nxt_asn] = d + 1
+                    best[nxt_asn] = state
+                frontier.append((nxt_asn, nxt_phase, d + 1))
+        self._hops_cache[src] = hops
+        self._pred_cache[src] = pred
+        self._best_state[src] = best
+
+    # -- public API ---------------------------------------------------------
+    def hops(self, src: int, dst: int) -> int:
+        """AS-hop count of the shortest valley-free route (0 if same AS)."""
+        self._bfs_from(src)
+        h = int(self._hops_cache[src][dst])
+        if h < 0:
+            raise RoutingError(f"no valley-free route AS{src} -> AS{dst}")
+        return h
+
+    def path(self, src: int, dst: int) -> list[int]:
+        """AS path including both endpoints; ``[src]`` when src == dst."""
+        self._bfs_from(src)
+        if src == dst:
+            return [src]
+        best = self._best_state[src].get(dst)
+        if best is None:
+            raise RoutingError(f"no valley-free route AS{src} -> AS{dst}")
+        pred = self._pred_cache[src]
+        rev: list[int] = []
+        state = best
+        while True:
+            rev.append(state[0])
+            if state == (src, _UP):
+                break
+            state = pred[state]
+        rev.reverse()
+        return rev
+
+    def path_links(self, src: int, dst: int) -> list[tuple[int, int, LinkType]]:
+        """The inter-AS links along the route as (a, b, type) triples."""
+        p = self.path(src, dst)
+        links = []
+        for a, b in zip(p, p[1:]):
+            links.append((a, b, self.topology.link_type(a, b)))
+        return links
+
+    def hop_matrix(self) -> np.ndarray:
+        """All-pairs AS-hop matrix (int32).  Raises if any pair is unroutable."""
+        mat = np.empty((self._n, self._n), dtype=np.int32)
+        for src in range(self._n):
+            self._bfs_from(src)
+            mat[src] = self._hops_cache[src]
+        if (mat < 0).any():
+            bad = np.argwhere(mat < 0)[0]
+            raise RoutingError(
+                f"no valley-free route AS{bad[0]} -> AS{bad[1]}"
+            )
+        return mat

@@ -1,0 +1,146 @@
+"""Traffic accounting over the AS topology.
+
+The accountant observes every delivered message (or bulk transfer) and
+attributes its bytes to the inter-AS links its route traverses, classified
+as *intra-AS*, *peering* or *transit*.  Transit bytes are additionally
+charged to the paying AS (the customer side of each customer-provider link,
+in both directions, matching how transit billing works), and sampled into
+time buckets so the cost model can apply peak-rate (95th percentile)
+billing as described in the survey's §2.1.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Optional
+
+from repro.underlay.autonomous_system import LinkType
+from repro.underlay.routing import ASRouting
+from repro.underlay.topology import InternetTopology
+
+
+@dataclass
+class TrafficSummary:
+    """Aggregated byte counters."""
+
+    intra_as_bytes: int = 0
+    peering_bytes: int = 0
+    transit_bytes: int = 0
+    messages: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.intra_as_bytes + self.peering_bytes + self.transit_bytes
+
+    @property
+    def intra_as_fraction(self) -> float:
+        """Fraction of end-to-end flows' bytes that never left the source AS."""
+        total = self.total_bytes
+        return self.intra_as_bytes / total if total else 0.0
+
+    @property
+    def transit_fraction(self) -> float:
+        total = self.total_bytes
+        return self.transit_bytes / total if total else 0.0
+
+
+class TrafficAccountant:
+    """Attributes message bytes to AS links; implements the
+    :class:`repro.sim.messages.TrafficObserver` protocol.
+
+    Parameters
+    ----------
+    topology, routing:
+        The underlay to account against.
+    asn_of:
+        Maps a bus endpoint id to its ASN.
+    clock:
+        Optional callable returning current (simulation) time in seconds;
+        enables time-bucketed transit sampling for percentile billing.
+    bucket_seconds:
+        Width of the billing sample buckets (5 minutes by default, the
+        industry-standard sampling interval).
+    """
+
+    def __init__(
+        self,
+        topology: InternetTopology,
+        routing: ASRouting,
+        asn_of: Callable[[Hashable], int],
+        *,
+        clock: Optional[Callable[[], float]] = None,
+        bucket_seconds: float = 300.0,
+    ) -> None:
+        self.topology = topology
+        self.routing = routing
+        self._asn_of = asn_of
+        self._clock = clock
+        self.bucket_seconds = float(bucket_seconds)
+        self.summary = TrafficSummary()
+        #: bytes per inter-AS link keyed by (min_asn, max_asn)
+        self.link_bytes: dict[tuple[int, int], int] = defaultdict(int)
+        #: transit bytes charged to each paying (customer) AS
+        self.paid_transit_bytes: dict[int, int] = defaultdict(int)
+        #: per transit link: {bucket_index: bytes} for percentile billing
+        self.transit_samples: dict[tuple[int, int], dict[int, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        #: per message-kind byte counters (kind -> (intra, inter))
+        self.kind_bytes: dict[str, list[int]] = defaultdict(lambda: [0, 0])
+
+    # -- TrafficObserver ------------------------------------------------------
+    def observe(self, src: Hashable, dst: Hashable, size_bytes: int, kind: str) -> None:
+        asn_src = self._asn_of(src)
+        asn_dst = self._asn_of(dst)
+        self.summary.messages += 1
+        if asn_src == asn_dst:
+            self.summary.intra_as_bytes += size_bytes
+            self.kind_bytes[kind][0] += size_bytes
+            return
+        self.kind_bytes[kind][1] += size_bytes
+        bucket = (
+            int(self._clock() // self.bucket_seconds) if self._clock is not None else 0
+        )
+        crossed_transit = False
+        crossed_peering = False
+        for a, b, link_type in self.routing.path_links(asn_src, asn_dst):
+            key = (min(a, b), max(a, b))
+            self.link_bytes[key] += size_bytes
+            if link_type is LinkType.TRANSIT:
+                crossed_transit = True
+                # the customer side of the link pays, regardless of direction
+                payer = a if b in self.topology.asys(a).providers else b
+                self.paid_transit_bytes[payer] += size_bytes
+                self.transit_samples[key][bucket] += size_bytes
+            else:
+                crossed_peering = True
+        # classify the flow by its most expensive link class
+        if crossed_transit:
+            self.summary.transit_bytes += size_bytes
+        elif crossed_peering:
+            self.summary.peering_bytes += size_bytes
+        else:  # direct link of unknown type should not happen
+            self.summary.intra_as_bytes += size_bytes
+
+    # -- queries ----------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero all counters (e.g. after a warm-up phase)."""
+        self.summary = TrafficSummary()
+        self.link_bytes.clear()
+        self.paid_transit_bytes.clear()
+        self.transit_samples.clear()
+        self.kind_bytes.clear()
+
+    def peak_transit_mbps(self, link: tuple[int, int], percentile: float = 95.0) -> float:
+        """Billable rate of a transit link: the given percentile of the
+        per-bucket rates (Mbps)."""
+        import numpy as np
+
+        samples = self.transit_samples.get((min(link), max(link)))
+        if not samples:
+            return 0.0
+        buckets = np.array(sorted(samples))
+        rates = np.array([samples[int(b)] for b in buckets], dtype=float)
+        rates_mbps = rates * 8.0 / 1e6 / self.bucket_seconds
+        return float(np.percentile(rates_mbps, percentile))

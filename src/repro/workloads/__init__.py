@@ -1,0 +1,21 @@
+"""Workload generators: content catalogues, query schedules, churn traces."""
+
+from repro.workloads.content import CatalogConfig, ContentCatalog
+from repro.workloads.churn_traces import (
+    SessionInterval,
+    availability,
+    generate_trace,
+    online_at,
+)
+from repro.workloads.queries import QueryEvent, QueryWorkload
+
+__all__ = [
+    "CatalogConfig",
+    "ContentCatalog",
+    "QueryEvent",
+    "QueryWorkload",
+    "SessionInterval",
+    "availability",
+    "generate_trace",
+    "online_at",
+]

@@ -1,0 +1,63 @@
+"""Precomputed churn traces for overlays that analyse membership offline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, ensure_rng
+from repro.sim.churn import ChurnConfig, draw_duration
+
+
+@dataclass(frozen=True)
+class SessionInterval:
+    """One online period of a peer: [start_s, end_s)."""
+    peer: int
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise ConfigurationError("session must have positive length")
+
+    @property
+    def length_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+def generate_trace(
+    peers: Sequence[int],
+    config: ChurnConfig,
+    horizon_s: float,
+    *,
+    rng: SeedLike = None,
+) -> list[SessionInterval]:
+    """Alternating on/off sessions for each peer up to ``horizon_s``."""
+    if horizon_s <= 0:
+        raise ConfigurationError("horizon must be positive")
+    rng = ensure_rng(rng)
+    out: list[SessionInterval] = []
+    for p in peers:
+        t = float(rng.uniform(0, config.mean_offline))
+        while t < horizon_s:
+            session = draw_duration(rng, config.session_dist, config.mean_session)
+            end = min(t + session, horizon_s)
+            if end > t:
+                out.append(SessionInterval(peer=p, start_s=t, end_s=end))
+            t = end + draw_duration(rng, config.offline_dist, config.mean_offline)
+    out.sort(key=lambda s: s.start_s)
+    return out
+
+
+def online_at(trace: Sequence[SessionInterval], t: float) -> set[int]:
+    """Peers online at time ``t``."""
+    return {s.peer for s in trace if s.start_s <= t < s.end_s}
+
+
+def availability(trace: Sequence[SessionInterval], peer: int, horizon_s: float) -> float:
+    """Fraction of the horizon this peer spent online."""
+    if horizon_s <= 0:
+        raise ConfigurationError("horizon must be positive")
+    total = sum(s.length_s for s in trace if s.peer == peer)
+    return total / horizon_s

@@ -1,0 +1,63 @@
+"""Query workload generation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, ensure_rng
+from repro.underlay.hosts import Host
+from repro.workloads.content import ContentCatalog
+
+
+@dataclass(frozen=True)
+class QueryEvent:
+    """One search: who asks, for what, when (ms on the sim clock)."""
+
+    origin: int
+    keyword: int
+    at_ms: float
+
+
+class QueryWorkload:
+    """Poisson-ish query arrivals over a host population.
+
+    Each host issues ``queries_per_host`` searches at uniformly random
+    times within ``duration_ms``; targets come from the catalogue's
+    locality-correlated popularity model.
+    """
+
+    def __init__(
+        self,
+        hosts: Sequence[Host],
+        catalog: ContentCatalog,
+        *,
+        queries_per_host: int = 1,
+        duration_ms: float = 60_000.0,
+        rng: SeedLike = None,
+    ) -> None:
+        if queries_per_host < 0:
+            raise ConfigurationError("queries_per_host must be non-negative")
+        if duration_ms <= 0:
+            raise ConfigurationError("duration must be positive")
+        self.hosts = list(hosts)
+        self.catalog = catalog
+        self.queries_per_host = queries_per_host
+        self.duration_ms = duration_ms
+        self._rng = ensure_rng(rng)
+
+    def events(self) -> list[QueryEvent]:
+        """Generate the full schedule, sorted by time."""
+        out: list[QueryEvent] = []
+        for h in self.hosts:
+            for _ in range(self.queries_per_host):
+                out.append(
+                    QueryEvent(
+                        origin=h.host_id,
+                        keyword=self.catalog.draw_query(h.asn),
+                        at_ms=float(self._rng.uniform(0, self.duration_ms)),
+                    )
+                )
+        out.sort(key=lambda e: e.at_ms)
+        return out

@@ -1,0 +1,37 @@
+"""Shared fixtures.
+
+Session-scoped underlays: generation + all-pairs latency is the expensive
+part, and the objects are read-only in the tests that share them.  Tests
+that mutate state build their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Simulation
+from repro.underlay import Underlay, UnderlayConfig
+from repro.underlay.topology import TopologyConfig
+
+
+@pytest.fixture(scope="session")
+def small_underlay() -> Underlay:
+    """40 hosts over the default topology — read-only."""
+    return Underlay.generate(UnderlayConfig(n_hosts=40, seed=3))
+
+
+@pytest.fixture(scope="session")
+def dense_underlay() -> Underlay:
+    """90 hosts over few ASes (dense per-AS population) — read-only."""
+    return Underlay.generate(
+        UnderlayConfig(
+            topology=TopologyConfig(n_tier1=3, n_tier2=6, n_stub=9, n_regions=3),
+            n_hosts=90,
+            seed=7,
+        )
+    )
+
+
+@pytest.fixture()
+def sim() -> Simulation:
+    return Simulation()

@@ -1,0 +1,153 @@
+"""Unit and integration tests for the BitTorrent swarm."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OverlayError
+from repro.overlay.bittorrent import (
+    Bitfield,
+    SwarmConfig,
+    SwarmSimulation,
+    Torrent,
+    Tracker,
+    TrackerPolicy,
+)
+from repro.underlay import Underlay, UnderlayConfig
+
+
+class TestTorrentAndBitfield:
+    def test_total_bytes(self):
+        t = Torrent(0, n_pieces=10, piece_size_bytes=100)
+        assert t.total_bytes == 1000
+
+    def test_validation(self):
+        with pytest.raises(OverlayError):
+            Torrent(0, n_pieces=0)
+
+    def test_bitfield_lifecycle(self):
+        bf = Bitfield(4)
+        assert not bf.complete and bf.completion == 0.0
+        for p in range(4):
+            bf.add(p)
+        assert bf.complete and bf.completion == 1.0
+        assert bf.missing() == set()
+
+    def test_bitfield_bounds(self):
+        bf = Bitfield(4)
+        with pytest.raises(OverlayError):
+            bf.add(4)
+
+    def test_seed_bitfield_complete(self):
+        assert Bitfield(8, complete=True).complete
+
+
+class TestTracker:
+    @pytest.fixture(scope="class")
+    def underlay(self):
+        return Underlay.generate(UnderlayConfig(n_hosts=60, seed=19))
+
+    def test_first_announce_empty(self, underlay):
+        tr = Tracker(underlay, rng=1)
+        assert tr.announce(underlay.host_ids()[0]) == []
+
+    def test_random_policy_list_size(self, underlay):
+        tr = Tracker(underlay, peer_list_size=10, rng=1)
+        ids = underlay.host_ids()
+        for h in ids[:30]:
+            tr.announce(h)
+        got = tr.announce(ids[30])
+        assert len(got) == 10
+        assert ids[30] not in got
+
+    def test_biased_policy_prefers_same_as(self, underlay):
+        tr = Tracker(
+            underlay, policy=TrackerPolicy.BIASED, peer_list_size=20,
+            external_quota=2, rng=2,
+        )
+        ids = underlay.host_ids()
+        for h in ids[:-1]:
+            tr.announce(h)
+        target = ids[-1]
+        got = tr.announce(target)
+        my_asn = underlay.asn_of(target)
+        external = [p for p in got if underlay.asn_of(p) != my_asn]
+        assert len(external) <= 2
+
+    def test_oracle_policy_requires_oracle(self, underlay):
+        with pytest.raises(OverlayError):
+            Tracker(underlay, policy=TrackerPolicy.ORACLE)
+
+    def test_depart(self, underlay):
+        tr = Tracker(underlay, rng=3)
+        ids = underlay.host_ids()
+        tr.announce(ids[0])
+        tr.depart(ids[0])
+        assert ids[0] not in tr.swarm
+
+    def test_zero_external_quota_rejected(self, underlay):
+        with pytest.raises(OverlayError):
+            Tracker(underlay, external_quota=0)
+
+
+class TestSwarm:
+    def _run(self, policy, seed=22, n=50, cost_aware=False):
+        u = Underlay.generate(UnderlayConfig(n_hosts=n, seed=seed))
+        torrent = Torrent(0, n_pieces=32)
+        tracker = Tracker(u, policy=policy, peer_list_size=20, rng=seed)
+        sim = SwarmSimulation(
+            u, torrent, tracker,
+            config=SwarmConfig(cost_aware=cost_aware), rng=seed + 1,
+        )
+        ids = u.host_ids()
+        sim.populate(leechers=ids[2:], seeds=ids[:2])
+        report = sim.run(max_time_s=1500.0, dt=2.0)
+        return sim, report
+
+    def test_most_leechers_finish(self):
+        _sim, rep = self._run(TrackerPolicy.RANDOM)
+        assert rep.completion_rate > 0.85
+        assert rep.mean_download_time_s > 0
+
+    def test_completed_peers_have_all_pieces(self):
+        sim, _rep = self._run(TrackerPolicy.RANDOM)
+        for p in sim.peers.values():
+            if p.finish_time is not None:
+                assert p.bitfield.complete
+
+    def test_byte_conservation(self):
+        sim, rep = self._run(TrackerPolicy.RANDOM)
+        uploaded = sum(p.uploaded_bytes for p in sim.peers.values())
+        downloaded = sum(p.downloaded_bytes for p in sim.peers.values())
+        assert uploaded == pytest.approx(downloaded, rel=1e-9)
+        assert rep.total_bytes == pytest.approx(uploaded, rel=1e-9)
+
+    def test_biased_reduces_transit_share(self):
+        _s1, random_rep = self._run(TrackerPolicy.RANDOM)
+        _s2, biased_rep = self._run(TrackerPolicy.BIASED)
+        assert biased_rep.transit_fraction < random_rep.transit_fraction
+        assert biased_rep.intra_as_fraction > 2 * random_rep.intra_as_fraction
+        # and download times do not collapse (the Bindal claim)
+        assert (
+            biased_rep.median_download_time_s
+            < 2.0 * random_rep.median_download_time_s
+        )
+
+    def test_cost_aware_choking_increases_locality(self):
+        _s1, plain = self._run(TrackerPolicy.RANDOM, cost_aware=False)
+        _s2, cat = self._run(TrackerPolicy.RANDOM, cost_aware=True)
+        assert cat.intra_as_fraction >= plain.intra_as_fraction
+
+    def test_duplicate_peer_rejected(self):
+        u = Underlay.generate(UnderlayConfig(n_hosts=10, seed=2))
+        sim = SwarmSimulation(
+            u, Torrent(0, n_pieces=4), Tracker(u, rng=1), rng=1
+        )
+        sim.add_peer(u.host_ids()[0], is_seed=True)
+        with pytest.raises(OverlayError):
+            sim.add_peer(u.host_ids()[0])
+
+    def test_paid_transit_charged_to_customers(self):
+        sim, rep = self._run(TrackerPolicy.RANDOM)
+        if rep.transit_bytes > 0:
+            assert sim.paid_transit
+            assert sum(sim.paid_transit.values()) >= rep.transit_bytes

@@ -1,0 +1,145 @@
+"""Unit/integration tests for the Chord ring."""
+
+import pytest
+
+from repro.errors import OverlayError
+from repro.overlay.chord import (
+    ChordConfig,
+    ChordRing,
+    M_BITS,
+    RING,
+    chord_id,
+    in_interval,
+)
+from repro.sim import Simulation
+from repro.underlay import Underlay, UnderlayConfig
+
+
+class TestRingMath:
+    def test_chord_id_range_and_stability(self):
+        k = chord_id("hello")
+        assert 0 <= k < RING
+        assert chord_id("hello") == k
+        assert chord_id("world") != k
+
+    def test_in_interval_plain(self):
+        assert in_interval(5, 2, 8)
+        assert in_interval(8, 2, 8)     # half-open: includes b
+        assert not in_interval(2, 2, 8)  # excludes a
+        assert not in_interval(9, 2, 8)
+
+    def test_in_interval_wrapping(self):
+        assert in_interval(1, RING - 5, 3)
+        assert in_interval(RING - 1, RING - 5, 3)
+        assert not in_interval(10, RING - 5, 3)
+
+    def test_config_validation(self):
+        with pytest.raises(OverlayError):
+            ChordConfig(successors=0)
+        with pytest.raises(OverlayError):
+            ChordConfig(fingers=M_BITS + 1)
+        with pytest.raises(OverlayError):
+            ChordConfig(prs_window=0.5)
+
+
+@pytest.fixture(scope="module")
+def ring():
+    u = Underlay.generate(UnderlayConfig(n_hosts=60, seed=12))
+    sim = Simulation()
+    bus, _ = u.message_bus(sim, with_accounting=False)
+    r = ChordRing(u, sim, bus, rng=2)
+    r.build()
+    return u, sim, r
+
+
+class TestChordStructure:
+    def test_distinct_ring_ids(self, ring):
+        _u, _sim, r = ring
+        rids = [n.ring_id for n in r.nodes.values()]
+        assert len(set(rids)) == len(rids)
+
+    def test_successors_are_clockwise(self, ring):
+        _u, _sim, r = ring
+        order = r._ring_order
+        n = len(order)
+        for i, hid in enumerate(order):
+            node = r.nodes[hid]
+            expected = [order[(i + k + 1) % n] for k in range(len(node.successors))]
+            assert node.successors == expected
+
+    def test_fingers_point_forward(self, ring):
+        _u, _sim, r = ring
+        for node in r.nodes.values():
+            for rid, hid in node.fingers:
+                assert rid == r.nodes[hid].ring_id
+                assert hid != node.host_id
+
+    def test_ownership_partitions_the_ring(self, ring):
+        _u, _sim, r = ring
+        for probe in (0, RING // 3, RING // 2, RING - 1):
+            owners = [n for n in r.nodes.values() if n.owns(probe)]
+            assert len(owners) == 1
+            assert owners[0].host_id == r._owner_of(probe)
+
+
+class TestChordLookups:
+    def test_all_lookups_reach_correct_owner(self, ring):
+        u, sim, r = ring
+        ids = u.host_ids()
+        recs = [
+            (r.lookup(ids[i % len(ids)], f"content-{i}"), f"content-{i}")
+            for i in range(120)
+        ]
+        sim.run()
+        for rec, content in recs:
+            assert rec.done
+            assert rec.owner == r.correct_owner(content)
+
+    def test_hops_logarithmic(self, ring):
+        u, sim, r = ring
+        stats = r.lookup_stats()
+        import math
+
+        assert stats["mean_hops"] <= 2 * math.log2(len(r.nodes))
+
+    def test_local_hit_zero_hops(self, ring):
+        u, sim, r = ring
+        # find (origin, content) where origin owns the key
+        for i in range(500):
+            content = f"self-{i}"
+            owner = r.correct_owner(content)
+            rec = r.lookup(owner, content)
+            assert rec.done and rec.hops == 0 and rec.owner == owner
+            break
+
+    def test_needs_two_nodes(self):
+        u = Underlay.generate(UnderlayConfig(n_hosts=5, seed=1))
+        sim = Simulation()
+        bus, _ = u.message_bus(sim, with_accounting=False)
+        r = ChordRing(u, sim, bus)
+        with pytest.raises(OverlayError):
+            r.build(hosts=u.hosts[:1])
+
+
+def test_pns_fingers_cut_latency_without_hop_inflation():
+    u = Underlay.generate(UnderlayConfig(n_hosts=80, seed=13))
+
+    def run(cfg):
+        sim = Simulation()
+        bus, _ = u.message_bus(sim, with_accounting=False)
+        r = ChordRing(u, sim, bus, config=cfg, rng=3)
+        r.build()
+        ids = u.host_ids()
+        recs = [
+            (r.lookup(ids[i % len(ids)], f"k{i}"), f"k{i}") for i in range(150)
+        ]
+        sim.run()
+        assert all(
+            rec.done and rec.owner == r.correct_owner(c) for rec, c in recs
+        )
+        return r.lookup_stats()
+
+    plain = run(ChordConfig())
+    pns = run(ChordConfig(proximity_fingers=True))
+    assert pns["mean_latency_ms"] < 0.9 * plain["mean_latency_ms"]
+    assert pns["mean_hops"] <= plain["mean_hops"] + 0.5

@@ -1,0 +1,52 @@
+"""Unit tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, _parse_overrides, _parse_value, main
+
+
+def test_parse_value_types():
+    assert _parse_value("3") == 3
+    assert _parse_value("3.5") == 3.5
+    assert _parse_value("true") is True
+    assert _parse_value("hello") == "hello"
+
+
+def test_parse_overrides():
+    assert _parse_overrides(["a=1", "b=x"]) == {"a": 1, "b": "x"}
+    with pytest.raises(SystemExit):
+        _parse_overrides(["broken"])
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for exp_id in EXPERIMENTS:
+        assert exp_id in out
+
+
+def test_run_single(capsys):
+    assert main(["run", "FIG2"]) == 0
+    out = capsys.readouterr().out
+    assert "FIG2" in out
+    assert "transit_per_mbps_usd" in out
+
+
+def test_run_case_insensitive(capsys):
+    assert main(["run", "fig2b"]) == 0
+    assert "monthly_bill_usd" in capsys.readouterr().out
+
+
+def test_run_with_override(capsys):
+    assert main(["run", "FIG2b", "--arg", "p2p_traffic_mbps=100"]) == 0
+    assert "100" in capsys.readouterr().out
+
+
+def test_unknown_id_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "FIG99"])
+
+
+def test_bad_override_kw_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "FIG2", "--arg", "bogus_kw=1"])

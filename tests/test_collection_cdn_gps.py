@@ -1,0 +1,96 @@
+"""Unit tests for CDN (Ono) inference and GPS geolocation."""
+
+import numpy as np
+import pytest
+
+from repro.collection import GPSService, SyntheticCDN
+from repro.errors import CollectionError
+
+
+class TestCDN:
+    def test_edges_in_distinct_ases(self, dense_underlay):
+        cdn = SyntheticCDN(dense_underlay, n_edges=6, rng=1)
+        asns = [e.asn for e in cdn.edges]
+        assert len(set(asns)) == 6
+
+    def test_ratio_map_is_distribution(self, dense_underlay):
+        cdn = SyntheticCDN(dense_underlay, n_edges=6, rng=1)
+        rm = cdn.ratio_map(dense_underlay.hosts[0], samples=20)
+        assert rm.shape == (6,)
+        assert rm.sum() == pytest.approx(1.0)
+        assert (rm >= 0).all()
+
+    def test_same_as_peers_have_similar_maps(self, dense_underlay):
+        u = dense_underlay
+        cdn = SyntheticCDN(u, n_edges=10, rng=2)
+        maps = {h.host_id: cdn.ratio_map(h, samples=24) for h in u.hosts[:40]}
+        same, diff_region = [], []
+        hosts = u.hosts[:40]
+        for i, a in enumerate(hosts):
+            for b in hosts[i + 1 :]:
+                s = cdn.cosine_similarity(maps[a.host_id], maps[b.host_id])
+                ra = u.topology.asys(a.asn).region
+                rb = u.topology.asys(b.asn).region
+                if a.asn == b.asn:
+                    same.append(s)
+                elif ra != rb:
+                    diff_region.append(s)
+        assert np.mean(same) > np.mean(diff_region)
+
+    def test_cosine_similarity_bounds(self):
+        assert SyntheticCDN.cosine_similarity([1, 0], [1, 0]) == pytest.approx(1.0)
+        assert SyntheticCDN.cosine_similarity([1, 0], [0, 1]) == pytest.approx(0.0)
+        assert SyntheticCDN.cosine_similarity([0, 0], [1, 0]) == 0.0
+
+    def test_redirect_returns_valid_edge(self, dense_underlay):
+        cdn = SyntheticCDN(dense_underlay, n_edges=4, rng=3)
+        e = cdn.redirect(dense_underlay.hosts[0], t=0.0)
+        assert 0 <= e < 4
+
+    def test_load_varies_over_time(self, dense_underlay):
+        cdn = SyntheticCDN(dense_underlay, n_edges=4, rng=3)
+        loads = [cdn.load(0, t) for t in np.linspace(0, 10, 20)]
+        assert max(loads) - min(loads) > 0.1
+
+    def test_too_many_edges_rejected(self, dense_underlay):
+        with pytest.raises(CollectionError):
+            SyntheticCDN(dense_underlay, n_edges=10_000)
+
+    def test_zero_samples_rejected(self, dense_underlay):
+        cdn = SyntheticCDN(dense_underlay, n_edges=4, rng=1)
+        with pytest.raises(CollectionError):
+            cdn.ratio_map(dense_underlay.hosts[0], samples=0)
+
+
+class TestGPS:
+    def test_full_availability_gives_fix_for_all(self, small_underlay):
+        gps = GPSService(small_underlay, availability=1.0)
+        for hid in small_underlay.host_ids():
+            assert gps.position_of(hid) is not None
+
+    def test_zero_availability_gives_none(self, small_underlay):
+        gps = GPSService(small_underlay, availability=0.0)
+        assert gps.position_of(small_underlay.host_ids()[0]) is None
+
+    def test_error_is_metre_scale(self, small_underlay):
+        gps = GPSService(small_underlay, availability=1.0, error_m=10.0)
+        errs = []
+        for h in small_underlay.hosts:
+            p = gps.position_of(h.host_id)
+            errs.append(p.distance_to(h.position))
+        # 10 m = 0.01 km
+        assert np.median(errs) < 0.05
+
+    def test_availability_is_deterministic_per_host(self, small_underlay):
+        gps = GPSService(small_underlay, availability=0.5, seed=9)
+        ids = small_underlay.host_ids()
+        first = [gps.has_fix(h) for h in ids]
+        second = [gps.has_fix(h) for h in ids]
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_validation(self, small_underlay):
+        with pytest.raises(CollectionError):
+            GPSService(small_underlay, availability=2.0)
+        with pytest.raises(CollectionError):
+            GPSService(small_underlay, error_m=-5.0)

@@ -1,0 +1,69 @@
+"""Unit tests for IP-to-ISP and IP-to-location mapping services."""
+
+import numpy as np
+import pytest
+
+from repro.collection import IPToISPMapping, IPToLocationMapping
+from repro.errors import CollectionError
+
+
+def test_perfect_mapping(small_underlay):
+    m = IPToISPMapping(small_underlay, accuracy=1.0)
+    for h in small_underlay.hosts:
+        assert m.lookup(h.host_id) == h.asn
+    assert m.error_rate(small_underlay.host_ids()) == 0.0
+
+
+def test_imperfect_mapping_errs_to_neighbor_as(small_underlay):
+    u = small_underlay
+    m = IPToISPMapping(u, accuracy=0.0)  # always wrong
+    for h in u.hosts[:10]:
+        got = m.lookup(h.host_id)
+        assert got != h.asn
+        assert got in u.topology.graph.neighbors(h.asn)
+
+
+def test_mapping_is_deterministic_per_host(small_underlay):
+    m = IPToISPMapping(small_underlay, accuracy=0.5, seed=3)
+    hid = small_underlay.host_ids()[0]
+    assert m.lookup(hid) == m.lookup(hid)
+
+
+def test_error_rate_tracks_accuracy(small_underlay):
+    m = IPToISPMapping(small_underlay, accuracy=0.8, seed=1)
+    rate = m.error_rate(small_underlay.host_ids())
+    assert 0.0 <= rate <= 0.5
+
+
+def test_overhead_charged_per_lookup(small_underlay):
+    m = IPToISPMapping(small_underlay)
+    m.lookup(small_underlay.host_ids()[0])
+    m.lookup(small_underlay.host_ids()[1])
+    assert m.overhead.queries == 2
+    assert m.overhead.bytes_on_wire > 0
+
+
+def test_invalid_accuracy_rejected(small_underlay):
+    with pytest.raises(CollectionError):
+        IPToISPMapping(small_underlay, accuracy=1.5)
+
+
+def test_location_mapping_error_scale(small_underlay):
+    u = small_underlay
+    coarse = IPToLocationMapping(u, error_km=200.0, seed=2)
+    fine = IPToLocationMapping(u, error_km=5.0, seed=2)
+    ids = u.host_ids()
+    assert fine.median_error_km(ids) < coarse.median_error_km(ids)
+
+
+def test_location_mapping_deterministic(small_underlay):
+    m = IPToLocationMapping(small_underlay, seed=4)
+    hid = small_underlay.host_ids()[3]
+    a = m.lookup(hid)
+    b = m.lookup(hid)
+    assert (a.x, a.y) == (b.x, b.y)
+
+
+def test_location_negative_error_rejected(small_underlay):
+    with pytest.raises(CollectionError):
+        IPToLocationMapping(small_underlay, error_km=-1.0)

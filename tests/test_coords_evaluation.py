@@ -1,0 +1,71 @@
+"""Unit tests for coordinate evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.coords import (
+    closest_peer_accuracy,
+    evaluate_embedding,
+    relative_errors,
+    selection_stretch,
+)
+from repro.errors import CoordinateError
+
+
+def _mat(vals):
+    return np.array(vals, dtype=float)
+
+
+def test_relative_errors_perfect_prediction():
+    m = _mat([[0, 10, 20], [10, 0, 30], [20, 30, 0]])
+    assert np.allclose(relative_errors(m, m), 0.0)
+
+
+def test_relative_errors_values():
+    measured = _mat([[0, 10], [10, 0]])
+    predicted = _mat([[0, 15], [15, 0]])
+    errs = relative_errors(predicted, measured)
+    assert errs.shape == (1,)
+    assert errs[0] == pytest.approx(0.5)
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(CoordinateError):
+        relative_errors(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+def test_closest_peer_accuracy_perfect_and_broken():
+    m = _mat([[0, 1, 9], [1, 0, 9], [9, 9, 0]])
+    assert closest_peer_accuracy(m, m) == 1.0
+    wrong = _mat([[0, 9, 1], [9, 0, 1], [1, 1, 0]])
+    # node 0's predicted nearest is 2, truly nearest is 1
+    assert closest_peer_accuracy(wrong, m) < 1.0
+
+
+def test_selection_stretch_one_for_perfect():
+    m = _mat([[0, 5, 8], [5, 0, 2], [8, 2, 0]])
+    assert selection_stretch(m, m) == pytest.approx(1.0)
+
+
+def test_selection_stretch_penalises_bad_choice():
+    measured = _mat([[0, 1, 10], [1, 0, 10], [10, 10, 0]])
+    predicted = _mat([[0, 10, 1], [10, 0, 10], [1, 10, 0]])
+    s = selection_stretch(predicted, measured)
+    assert s > 1.0
+
+
+def test_evaluate_embedding_report_fields():
+    m = _mat([[0, 10, 20], [10, 0, 30], [20, 30, 0]])
+    rep = evaluate_embedding(m * 1.1, m)
+    row = rep.as_row()
+    assert set(row) == {
+        "median_rel_err", "p90_rel_err", "mean_rel_err", "closest_acc", "stretch",
+    }
+    assert row["median_rel_err"] == pytest.approx(0.1)
+    assert row["closest_acc"] == 1.0
+
+
+def test_all_zero_measured_rejected():
+    z = np.zeros((3, 3))
+    with pytest.raises(CoordinateError):
+        evaluate_embedding(z, z)

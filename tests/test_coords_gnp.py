@@ -1,0 +1,93 @@
+"""Unit tests for GNP and landmark binning."""
+
+import numpy as np
+import pytest
+
+from repro.coords import GNPConfig, GNPSystem, LandmarkBinning, evaluate_embedding
+from repro.errors import ConfigurationError, CoordinateError
+
+
+def _euclidean_matrix(n, dim, seed):
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0, 100, size=(n, dim))
+    diff = pts[:, None, :] - pts[None, :, :]
+    mat = np.sqrt((diff**2).sum(-1))
+    np.fill_diagonal(mat, 0.0)
+    return pts, mat
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        GNPConfig(dim=0)
+    with pytest.raises(ConfigurationError):
+        GNPConfig(restarts=0)
+
+
+def test_landmark_embedding_recovers_euclidean_distances():
+    _pts, mat = _euclidean_matrix(7, 3, seed=1)
+    gnp = GNPSystem(mat, GNPConfig(dim=3, restarts=3), seed=2)
+    rep = evaluate_embedding(gnp.estimated_matrix(), mat)
+    assert rep.median_relative_error < 0.05
+
+
+def test_host_coordinate_close_to_landmark_consistency():
+    pts, mat = _euclidean_matrix(8, 3, seed=3)
+    gnp = GNPSystem(mat[:6, :6], GNPConfig(dim=3, restarts=3), seed=4)
+    # embed host 7 using its true distances to the six landmarks
+    host_coord = gnp.host_coordinate(mat[7, :6])
+    pred = np.linalg.norm(gnp.landmark_coords - host_coord[None, :], axis=1)
+    rel = np.abs(pred - mat[7, :6]) / mat[7, :6]
+    assert np.median(rel) < 0.15
+
+
+def test_needs_enough_landmarks():
+    _p, mat = _euclidean_matrix(3, 2, seed=5)
+    with pytest.raises(CoordinateError):
+        GNPSystem(mat, GNPConfig(dim=3))
+
+
+def test_host_coordinate_validation():
+    _p, mat = _euclidean_matrix(6, 2, seed=6)
+    gnp = GNPSystem(mat, GNPConfig(dim=2), seed=1)
+    with pytest.raises(CoordinateError):
+        gnp.host_coordinate([1.0, 2.0])
+    with pytest.raises(CoordinateError):
+        gnp.host_coordinate([-1.0] * 6)
+
+
+class TestBinning:
+    def test_bin_is_order_plus_levels(self):
+        b = LandmarkBinning(3, level_thresholds_ms=(100.0, 200.0))
+        assert b.bin_of([50.0, 150.0, 250.0]) == (0, 1, 2, 0, 1, 2)
+
+    def test_same_bin_for_similar_vectors(self):
+        b = LandmarkBinning(3)
+        assert b.same_bin([10, 20, 30], [15, 25, 35])
+        assert not b.same_bin([10, 20, 30], [30, 20, 10])
+
+    def test_similarity_graded(self):
+        b = LandmarkBinning(4)
+        s_close = b.bin_similarity([1, 2, 3, 4], [1.1, 2.2, 3.3, 4.4])
+        s_far = b.bin_similarity([1, 2, 3, 4], [400, 300, 200, 100])
+        assert s_close > s_far
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LandmarkBinning(0)
+        b = LandmarkBinning(2)
+        with pytest.raises(CoordinateError):
+            b.bin_of([1.0])
+
+    def test_binning_correlates_with_as_on_underlay(self, dense_underlay):
+        u = dense_underlay
+        rtt = u.rtt_matrix()
+        landmarks = list(range(6))
+        b = LandmarkBinning(6)
+        hosts = u.hosts[6:46]
+        sims_same, sims_diff = [], []
+        for i, ha in enumerate(hosts):
+            for hb in hosts[i + 1 :]:
+                ia, ib = u.hosts.index(ha), u.hosts.index(hb)
+                s = b.bin_similarity(rtt[ia, landmarks], rtt[ib, landmarks])
+                (sims_same if ha.asn == hb.asn else sims_diff).append(s)
+        assert np.mean(sims_same) > np.mean(sims_diff)

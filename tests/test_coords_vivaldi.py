@@ -1,0 +1,106 @@
+"""Unit tests for Vivaldi coordinates."""
+
+import numpy as np
+import pytest
+
+from repro.coords import VivaldiConfig, VivaldiNode, VivaldiSystem, evaluate_embedding
+from repro.errors import ConfigurationError, CoordinateError
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        VivaldiConfig(dim=0)
+    with pytest.raises(ConfigurationError):
+        VivaldiConfig(cc=0.0)
+
+
+def test_node_update_moves_toward_correct_distance():
+    cfg = VivaldiConfig(dim=2, use_height=False)
+    a = VivaldiNode(cfg, rng=1)
+    b = VivaldiNode(cfg, rng=2)
+    b.position = np.array([10.0, 0.0])
+    a.position = np.array([0.0, 0.0])
+    target = 4.0
+    for _ in range(200):
+        a.update(target, b)
+    assert a.distance_to(b) == pytest.approx(target, rel=0.15)
+
+
+def test_update_reduces_error_estimate_on_consistent_samples():
+    cfg = VivaldiConfig(dim=2, use_height=False)
+    a = VivaldiNode(cfg, rng=1)
+    b = VivaldiNode(cfg, rng=2)
+    b.position = np.array([5.0, 5.0])
+    initial_error = a.error
+    for _ in range(100):
+        a.update(7.0, b)
+    assert a.error < initial_error
+
+
+def test_nonpositive_rtt_rejected():
+    cfg = VivaldiConfig()
+    a = VivaldiNode(cfg, rng=1)
+    b = VivaldiNode(cfg, rng=2)
+    with pytest.raises(CoordinateError):
+        a.update(0.0, b)
+
+
+def test_height_stays_positive():
+    cfg = VivaldiConfig(dim=2, use_height=True)
+    a = VivaldiNode(cfg, rng=1)
+    b = VivaldiNode(cfg, rng=2)
+    for rtt in (1.0, 2.0, 0.5, 3.0) * 50:
+        a.update(rtt, b)
+    assert a.height > 0
+
+
+def test_system_converges_on_euclidean_matrix():
+    # points on a plane: perfectly embeddable, Vivaldi should get close
+    rng = np.random.default_rng(3)
+    pts = rng.uniform(0, 100, size=(25, 2))
+    diff = pts[:, None, :] - pts[None, :, :]
+    rtt = np.sqrt((diff**2).sum(-1)) + 1e-9
+    np.fill_diagonal(rtt, 0.0)
+    sys = VivaldiSystem(rtt, VivaldiConfig(dim=2, use_height=False), rng=4)
+    sys.run(rounds=80, neighbors_per_round=6)
+    rep = evaluate_embedding(sys.estimated_matrix(), rtt)
+    assert rep.median_relative_error < 0.12
+
+
+def test_system_on_underlay_rtt(small_underlay):
+    rtt = small_underlay.rtt_matrix()
+    sys = VivaldiSystem(rtt, VivaldiConfig(dim=3, use_height=True), rng=5)
+    sys.run(rounds=50, neighbors_per_round=8)
+    rep = evaluate_embedding(sys.estimated_matrix(), rtt)
+    assert rep.median_relative_error < 0.25
+    assert rep.mean_selection_stretch < 2.0
+
+
+def test_estimated_matrix_consistent_with_estimate(small_underlay):
+    rtt = small_underlay.rtt_matrix()[:10, :10]
+    sys = VivaldiSystem(rtt, rng=6)
+    sys.run(rounds=10, neighbors_per_round=3)
+    mat = sys.estimated_matrix()
+    assert mat[2, 7] == pytest.approx(sys.estimate(2, 7))
+    assert mat[2, 2] == 0.0
+
+
+def test_determinism():
+    rtt = np.array([[0, 10, 20], [10, 0, 15], [20, 15, 0]], dtype=float)
+    a = VivaldiSystem(rtt, rng=7)
+    a.run(rounds=5, neighbors_per_round=2)
+    b = VivaldiSystem(rtt, rng=7)
+    b.run(rounds=5, neighbors_per_round=2)
+    assert np.allclose(a.coordinates(), b.coordinates())
+
+
+def test_too_few_nodes_rejected():
+    with pytest.raises(CoordinateError):
+        VivaldiSystem(np.zeros((1, 1)))
+
+
+def test_invalid_run_params():
+    rtt = np.array([[0.0, 1.0], [1.0, 0.0]])
+    sys = VivaldiSystem(rtt, rng=1)
+    with pytest.raises(ConfigurationError):
+        sys.run(rounds=-1)

@@ -1,0 +1,114 @@
+"""Unit tests for the UnderlayAwarenessFramework and QoS profiles."""
+
+import pytest
+
+from repro.collection import (
+    GPSService,
+    IPToISPMapping,
+    IPToLocationMapping,
+    ISPOracle,
+    PingService,
+    SkyEyeOverlay,
+    UnderlayInfoType,
+)
+from repro.core import (
+    BUILTIN_PROFILES,
+    FILE_SHARING,
+    LOCATION_SERVICES,
+    REAL_TIME,
+    QoSProfile,
+    UnderlayAwarenessFramework,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def fw(dense_underlay):
+    u = dense_underlay
+    f = UnderlayAwarenessFramework(u)
+    f.use_oracle(ISPOracle(u))
+    f.use_true_latency()
+    f.use_gps(GPSService(u, availability=1.0))
+    f.use_resource_records()
+    return u, f
+
+
+def test_profiles_validate():
+    with pytest.raises(ConfigurationError):
+        QoSProfile("empty", {})
+    with pytest.raises(ConfigurationError):
+        QoSProfile("neg", {UnderlayInfoType.LATENCY: -1.0})
+    for p in BUILTIN_PROFILES:
+        assert p.weights
+
+
+def test_available_info_tracks_registration(dense_underlay):
+    f = UnderlayAwarenessFramework(dense_underlay)
+    assert f.available_info() == set()
+    f.use_true_latency()
+    assert f.available_info() == {UnderlayInfoType.LATENCY}
+
+
+def test_missing_service_raises(dense_underlay):
+    f = UnderlayAwarenessFramework(dense_underlay)
+    with pytest.raises(ConfigurationError):
+        f.selector_for(REAL_TIME)
+
+
+def test_select_neighbors_full_stack(fw):
+    u, f = fw
+    ids = u.host_ids()
+    for profile in BUILTIN_PROFILES:
+        picked = f.select_neighbors(ids[0], ids[1:], k=6, profile=profile)
+        assert len(picked) == 6
+        assert len(set(picked)) == 6
+        assert ids[0] not in picked
+
+
+def test_real_time_profile_prefers_low_latency(fw):
+    u, f = fw
+    ids = u.host_ids()
+    picked = f.select_neighbors(ids[0], ids[1:], k=5, profile=REAL_TIME)
+    rtts = [u.one_way_delay(ids[0], c) for c in picked]
+    all_rtts = sorted(u.one_way_delay(ids[0], c) for c in ids[1:])
+    # picked neighbours sit in the cheap tail of the distribution
+    assert max(rtts) <= all_rtts[len(all_rtts) // 3]
+
+
+def test_file_sharing_profile_prefers_locality(fw):
+    u, f = fw
+    ids = u.host_ids()
+    picked = f.select_neighbors(ids[0], ids[1:], k=5, profile=FILE_SHARING)
+    my_asn = u.asn_of(ids[0])
+    hops = [u.routing.hops(my_asn, u.asn_of(c)) for c in picked]
+    assert min(hops) == 0  # dense underlay: same-AS candidates exist and win
+
+
+def test_alternative_sources(dense_underlay):
+    u = dense_underlay
+    f = UnderlayAwarenessFramework(u)
+    f.use_ip_mapping(IPToISPMapping(u))
+    f.use_ping(PingService(u, rng=1))
+    f.use_ip_location(IPToLocationMapping(u))
+    sky = SkyEyeOverlay(u.host_ids())
+    f.use_skyeye(sky)
+    assert f.available_info() == set(UnderlayInfoType)
+    ids = u.host_ids()
+    picked = f.select_neighbors(ids[0], ids[1:20], k=4, profile=LOCATION_SERVICES)
+    assert len(picked) == 4
+
+
+def test_overhead_report_aggregates(fw):
+    u, f = fw
+    ids = u.host_ids()
+    f.select_neighbors(ids[0], ids[1:], k=3, profile=FILE_SHARING)
+    report = f.overhead_report()
+    assert "ISPOracle" in report
+    assert f.total_overhead_bytes() >= report["ISPOracle"].bytes_on_wire
+
+
+def test_baseline_selector_is_random(fw):
+    u, f = fw
+    ids = u.host_ids()
+    out = f.baseline_selector(rng=1).rank(ids[0], ids[1:10])
+    assert sorted(out) == sorted(ids[1:10])

@@ -1,0 +1,100 @@
+"""Unit tests for LTM topology matching."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import ltm_round, mean_neighbor_delay, run_ltm
+from repro.errors import ReproError
+
+
+def _triangle_case():
+    """A-B expensive, A-C and C-B cheap: LTM must cut A-B."""
+    g = nx.Graph()
+    g.add_edges_from([("a", "b"), ("a", "c"), ("c", "b"),
+                      ("a", "d"), ("b", "e"), ("c", "f"), ("d", "f"), ("e", "f")])
+    delays = {
+        frozenset(p): d
+        for p, d in {
+            ("a", "b"): 100.0, ("a", "c"): 10.0, ("c", "b"): 10.0,
+            ("a", "d"): 20.0, ("b", "e"): 20.0, ("c", "f"): 20.0,
+            ("d", "f"): 20.0, ("e", "f"): 20.0,
+            # non-edges that replacement probing may ask about
+            ("a", "e"): 80.0, ("a", "f"): 80.0, ("b", "c"): 10.0,
+            ("b", "d"): 80.0, ("b", "f"): 80.0, ("c", "d"): 60.0,
+            ("c", "e"): 60.0, ("d", "e"): 60.0,
+        }.items()
+    }
+
+    def delay_of(x, y):
+        return delays[frozenset((x, y))]
+
+    return g, delay_of
+
+
+def test_low_productive_link_is_cut():
+    g, delay_of = _triangle_case()
+    cut = ltm_round(g, delay_of, add_replacements=False)
+    assert cut >= 1
+    assert not g.has_edge("a", "b")
+    assert nx.is_connected(g)
+
+
+def test_min_degree_protects_sparse_nodes():
+    g = nx.Graph([("a", "b"), ("a", "c"), ("c", "b")])
+    delay_of = lambda x, y: 100.0 if frozenset((x, y)) == frozenset(("a", "b")) else 1.0
+    ltm_round(g, delay_of, min_degree=2, add_replacements=False)
+    # every node has degree 2: nothing may be cut
+    assert g.number_of_edges() == 3
+
+
+def test_run_ltm_converges_and_reduces_delay(dense_underlay):
+    u = dense_underlay
+    rng = np.random.default_rng(3)
+    ids = u.host_ids()
+    g = nx.Graph()
+    g.add_nodes_from(ids)
+    for h in ids:
+        others = [x for x in ids if x != h]
+        for i in rng.choice(len(others), size=5, replace=False):
+            g.add_edge(h, others[int(i)])
+
+    def delay_of(a, b):
+        return u.one_way_delay(a, b)
+
+    before = mean_neighbor_delay(g, delay_of)
+    stats = run_ltm(g, delay_of, max_rounds=8)
+    after = mean_neighbor_delay(g, delay_of)
+    assert stats.links_cut > 0
+    assert after < before
+    assert nx.is_connected(g)
+    assert stats.probes_sent > 0
+    # one more round cuts nothing (converged)
+    assert ltm_round(g, delay_of) == 0
+
+
+def test_replacements_add_closer_links(dense_underlay):
+    u = dense_underlay
+    rng = np.random.default_rng(5)
+    ids = u.host_ids()[:40]
+    g = nx.Graph()
+    g.add_nodes_from(ids)
+    for h in ids:
+        others = [x for x in ids if x != h]
+        for i in rng.choice(len(others), size=4, replace=False):
+            g.add_edge(h, others[int(i)])
+    stats = run_ltm(g, u.one_way_delay, max_rounds=5, add_replacements=True)
+    if stats.links_cut:
+        assert stats.links_added >= 0  # replacements only when beneficial
+
+
+def test_validation():
+    g = nx.path_graph(3)
+    with pytest.raises(ReproError):
+        ltm_round(g, lambda a, b: 1.0, min_degree=0)
+    with pytest.raises(ReproError):
+        ltm_round(g, lambda a, b: 1.0, slack=1.5)
+    with pytest.raises(ReproError):
+        run_ltm(g, lambda a, b: 1.0, max_rounds=0)
+    with pytest.raises(ReproError):
+        mean_neighbor_delay(nx.Graph(), lambda a, b: 1.0)

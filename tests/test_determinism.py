@@ -1,0 +1,46 @@
+"""Cross-cutting determinism: identical seeds reproduce experiments
+bit-for-bit — the property every EXPERIMENTS.md number relies on."""
+
+import numpy as np
+
+from repro.experiments import run_fig2, run_fig6, run_table1
+from repro.experiments.fig4_ics import run_fig4_embedding
+
+
+def _rows_equal(a, b):
+    assert len(a.rows) == len(b.rows)
+    for ra, rb in zip(a.rows, b.rows):
+        assert ra.keys() == rb.keys()
+        for k in ra:
+            va, vb = ra[k], rb[k]
+            if isinstance(va, float):
+                assert va == vb, (k, va, vb)
+            else:
+                assert va == vb, (k, va, vb)
+
+
+def test_fig2_deterministic():
+    _rows_equal(run_fig2(), run_fig2())
+
+
+def test_fig6_deterministic():
+    _rows_equal(run_fig6(n_hosts=60, seed=5), run_fig6(n_hosts=60, seed=5))
+
+
+def test_fig4b_deterministic():
+    _rows_equal(
+        run_fig4_embedding(n_hosts=30, n_beacons=8, seed=3),
+        run_fig4_embedding(n_hosts=30, n_beacons=8, seed=3),
+    )
+
+
+def test_table1_deterministic():
+    _rows_equal(run_table1(n_hosts=40, seed=9), run_table1(n_hosts=40, seed=9))
+
+
+def test_different_seeds_differ():
+    a = run_fig6(n_hosts=60, seed=5)
+    b = run_fig6(n_hosts=60, seed=6)
+    va = a.row_by("arm", "biased")["intra_as_edge_fraction"]
+    vb = b.row_by("arm", "biased")["intra_as_edge_fraction"]
+    assert va != vb

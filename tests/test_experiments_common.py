@@ -1,0 +1,78 @@
+"""Unit tests for the experiment plumbing (result container, printing,
+multi-seed aggregation)."""
+
+import io
+
+import pytest
+
+from repro.experiments import ExperimentResult, print_table, repeat_over_seeds
+
+
+def _result(seed: int) -> ExperimentResult:
+    res = ExperimentResult("X", "test experiment")
+    res.add_row(arm="a", value=float(seed), other=1.0)
+    res.add_row(arm="b", value=2.0 * seed, other=2.0)
+    return res
+
+
+class TestExperimentResult:
+    def test_add_and_column(self):
+        res = _result(1)
+        assert res.column("arm") == ["a", "b"]
+        assert res.column("value") == [1.0, 2.0]
+
+    def test_row_by(self):
+        res = _result(1)
+        assert res.row_by("arm", "b")["value"] == 2.0
+        with pytest.raises(KeyError):
+            res.row_by("arm", "zzz")
+
+
+class TestPrintTable:
+    def test_renders_header_rows_and_notes(self):
+        res = _result(3)
+        res.notes.append("a note")
+        buf = io.StringIO()
+        print_table(res, file=buf)
+        out = buf.getvalue()
+        assert "X: test experiment" in out
+        assert "arm" in out and "value" in out
+        assert "note: a note" in out
+        # one line per row
+        assert out.count("\n") >= 6
+
+    def test_empty_result(self):
+        buf = io.StringIO()
+        print_table(ExperimentResult("E", "empty"), file=buf)
+        assert "(no rows)" in buf.getvalue()
+
+    def test_mixed_columns_align(self):
+        res = ExperimentResult("M", "mixed")
+        res.add_row(a=1)
+        res.add_row(b=2.5)
+        buf = io.StringIO()
+        print_table(res, file=buf)
+        out = buf.getvalue()
+        assert "a" in out and "b" in out
+
+
+class TestRepeatOverSeeds:
+    def test_mean_and_std(self):
+        agg = repeat_over_seeds(
+            _result, seeds=[1, 3], key_column="arm", value_columns=["value"]
+        )
+        rows = {r["arm"]: r for r in agg.rows}
+        assert rows["a"]["value_mean"] == pytest.approx(2.0)
+        assert rows["a"]["value_std"] == pytest.approx(1.0)
+        assert rows["b"]["value_mean"] == pytest.approx(4.0)
+
+    def test_title_mentions_seed_count(self):
+        agg = repeat_over_seeds(
+            _result, seeds=[1, 2, 3], key_column="arm", value_columns=["value"]
+        )
+        assert "3 seeds" in agg.title
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            repeat_over_seeds(_result, seeds=[], key_column="arm",
+                              value_columns=["value"])

@@ -1,0 +1,62 @@
+"""Zone supernode failover: when a zone's responsible peer leaves, the
+next member takes over (the Globase "routing around dead nodes"
+challenge, §2.4)."""
+
+import pytest
+
+from repro.overlay.geo import GlobaseOverlay
+from repro.underlay import Underlay, UnderlayConfig
+
+
+@pytest.fixture()
+def overlay():
+    u = Underlay.generate(UnderlayConfig(n_hosts=120, seed=97))
+    g = GlobaseOverlay(u, zone_capacity=8)
+    g.join_all()
+    return u, g
+
+
+def test_supernode_succession(overlay):
+    _u, g = overlay
+    leaf = next(l for l in g.tree.leaves() if len(l.members) >= 3)
+    first = leaf.supernode()
+    members = list(leaf.members)
+    assert first == members[0]
+    g.leave(first)
+    assert leaf.supernode() == members[1]
+    # queries over the zone still answer
+    found, _visited = g.tree.search_area(leaf.rect)
+    assert set(found) == set(leaf.members)
+
+
+def test_zone_drains_to_empty_supernode_none(overlay):
+    _u, g = overlay
+    leaf = next(l for l in g.tree.leaves() if 1 <= len(l.members) <= 3)
+    departed = list(leaf.members)
+    for hid in departed:
+        g.leave(hid)
+    assert leaf.supernode() is None
+    found, _ = g.tree.search_area(leaf.rect)
+    # no departed peer is ever returned, and every answer is a live member
+    assert not set(found) & set(departed)
+    assert all(hid in g.believed for hid in found)
+
+
+def test_query_delay_survives_supernode_loss(overlay):
+    u, g = overlay
+    from repro.overlay.geo import Rect
+
+    area = Rect(800.0, 800.0, 3200.0, 3200.0)
+    origin = u.host_ids()[0]
+    d1 = g.query_delay_ms(origin, area)
+    # remove a handful of supernodes (their successors take over)
+    removed = 0
+    for leaf in g.tree.leaves():
+        if removed >= 5:
+            break
+        sn = leaf.supernode()
+        if sn is not None and len(leaf.members) >= 2 and sn != origin:
+            g.leave(sn)
+            removed += 1
+    d2 = g.query_delay_ms(origin, area)
+    assert d2 > 0  # the query still routes

@@ -1,0 +1,108 @@
+"""Integration: Gnutella under churn (§5.4 — the open robustness question)."""
+
+import networkx as nx
+import pytest
+
+from repro.overlay.gnutella import GnutellaNetwork, LEAF, ULTRAPEER
+from repro.sim import ChurnConfig, ChurnProcess, Simulation
+from repro.underlay import Underlay, UnderlayConfig
+
+
+@pytest.fixture()
+def net():
+    u = Underlay.generate(UnderlayConfig(n_hosts=60, seed=33))
+    sim = Simulation()
+    bus, _ = u.message_bus(sim, with_accounting=False)
+    network = GnutellaNetwork(u, sim, bus, rng=2)
+    network.add_population(u.hosts)
+    network.bootstrap(cache_fill=40)
+    network.join_all()
+    sim.run()
+    return u, sim, network
+
+
+def test_graceful_leave_cleans_neighbor_state(net):
+    _u, sim, network = net
+    up = network.ultrapeers()[0]
+    peers_before = set(up.neighbors) | set(up.leaves)
+    assert peers_before
+    network.part(up.host_id)
+    sim.run()
+    assert not up.online
+    for peer_id in peers_before:
+        peer = network.nodes[peer_id]
+        assert up.host_id not in peer.neighbors
+        assert up.host_id not in peer.leaves
+
+
+def test_leaf_finds_replacement_after_up_departure(net):
+    _u, sim, network = net
+    # find a leaf with a full set of ultrapeers
+    leaf = next(
+        n for n in network.leaves()
+        if len(n.neighbors) == network.config.leaf_connections
+    )
+    lost_up = next(iter(leaf.neighbors))
+    network.part(lost_up)
+    sim.run()
+    assert lost_up not in leaf.neighbors
+    # repair kicked in: the leaf is connected again (hostcache permitting)
+    assert len(leaf.neighbors) >= 1
+
+
+def test_rejoin_restores_connectivity(net):
+    _u, sim, network = net
+    up = network.ultrapeers()[1]
+    network.part(up.host_id)
+    sim.run()
+    network.rejoin(up.host_id)
+    sim.run()
+    assert up.online
+    assert len(up.neighbors) > 0
+
+
+def test_departed_node_unreachable_by_search(net):
+    _u, sim, network = net
+    leaf = network.leaves()[0]
+    network.share_content(leaf.host_id, [4242])
+    sim.run()
+    network.part(leaf.host_id)
+    sim.run()
+    guid = network.search(network.leaves()[-1].host_id, 4242)
+    sim.run()
+    # ultrapeers dropped the departed leaf from their indexes
+    assert leaf.host_id not in network.searches[guid].hits
+
+
+def test_overlay_survives_sustained_churn(net):
+    u, sim, network = net
+    churn = ChurnProcess(
+        sim,
+        peers=[n.host_id for n in network.leaves()],  # leaves churn
+        config=ChurnConfig(mean_session=60_000.0, mean_offline=30_000.0),
+        on_join=lambda hid: network.rejoin(hid)
+        if not network.nodes[hid].online
+        else None,
+        on_leave=lambda hid: network.part(hid),
+        rng=5,
+    )
+    churn.start(warmup=5_000.0)
+    sim.run(until=sim.now + 300_000.0)  # five minutes of churn
+    churn.stop()
+    sim.run(until=sim.now + 10_000.0)
+    online = [n for n in network.nodes.values() if n.online]
+    assert len(online) > 30
+    graph = network.overlay_graph().subgraph([n.host_id for n in online])
+    # the ultrapeer core stays one component for the online majority
+    biggest = max(nx.connected_components(graph), key=len)
+    assert len(biggest) >= 0.8 * len(online)
+    # and searches still work
+    provider = next(n for n in online if n.role == LEAF)
+    network.share_content(provider.host_id, [777])
+    sim.run()
+    origin = next(
+        n for n in reversed(online) if n.role == LEAF and n is not provider
+    )
+    guid = network.search(origin.host_id, 777)
+    sim.run()
+    assert network.searches[guid].hits

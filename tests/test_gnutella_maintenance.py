@@ -1,0 +1,67 @@
+"""Tests for Gnutella periodic maintenance."""
+
+import pytest
+
+from repro.overlay.gnutella import GnutellaNetwork
+from repro.sim import Simulation
+from repro.underlay import Underlay, UnderlayConfig
+
+
+@pytest.fixture()
+def net():
+    u = Underlay.generate(UnderlayConfig(n_hosts=40, seed=81))
+    sim = Simulation()
+    bus, _ = u.message_bus(sim, with_accounting=False)
+    network = GnutellaNetwork(u, sim, bus, rng=2)
+    network.add_population(u.hosts)
+    network.bootstrap(cache_fill=20)
+    network.join_all()
+    sim.run()
+    return u, sim, network
+
+
+def test_auto_maintenance_generates_periodic_pings(net):
+    _u, sim, network = net
+    before = network.message_counts().get("PING", 0)
+    network.start_auto_maintenance(ping_period_ms=10_000.0)
+    sim.run(until=sim.now + 65_000)
+    network.stop_auto_maintenance()
+    after = network.message_counts().get("PING", 0)
+    # ~6 rounds from every connected node, each fanning out
+    assert after - before > 5 * len(network.nodes)
+
+
+def test_maintenance_refreshes_hostcaches(net):
+    _u, sim, network = net
+    # empty one leaf's hostcache; maintenance pongs should repopulate it
+    leaf = network.leaves()[0]
+    for entry in list(leaf.hostcache.snapshot()):
+        leaf.hostcache.remove(entry)
+    assert len(leaf.hostcache) == 0
+    network.start_auto_maintenance(ping_period_ms=5_000.0)
+    sim.run(until=sim.now + 40_000)
+    network.stop_auto_maintenance()
+    assert len(leaf.hostcache) > 0
+
+
+def test_stop_auto_maintenance_quiesces(net):
+    _u, sim, network = net
+    network.start_auto_maintenance(ping_period_ms=5_000.0)
+    sim.run(until=sim.now + 12_000)
+    network.stop_auto_maintenance()
+    sim.run()  # drains in-flight messages and stops — must terminate
+    count_a = network.message_counts().get("PING", 0)
+    sim.run(until=sim.now + 60_000)
+    assert network.message_counts().get("PING", 0) == count_a
+
+
+def test_offline_nodes_do_not_ping(net):
+    _u, sim, network = net
+    victim = network.ultrapeers()[0]
+    network.part(victim.host_id)
+    sim.run()
+    sent_before = victim.sent_counts.get("PING", 0)
+    network.start_auto_maintenance(ping_period_ms=5_000.0)
+    sim.run(until=sim.now + 30_000)
+    network.stop_auto_maintenance()
+    assert victim.sent_counts.get("PING", 0) == sent_before

@@ -1,0 +1,143 @@
+"""Unit tests for Gnutella node message-handling edge cases."""
+
+import pytest
+
+from repro.errors import OverlayError
+from repro.overlay.gnutella import GnutellaConfig, GnutellaNetwork, LEAF, ULTRAPEER
+from repro.overlay.gnutella.messages import Ping, Query
+from repro.sim import Simulation
+from repro.underlay import Underlay, UnderlayConfig
+
+
+@pytest.fixture()
+def tiny_net():
+    u = Underlay.generate(UnderlayConfig(n_hosts=12, seed=51))
+    sim = Simulation()
+    bus, _ = u.message_bus(sim, with_accounting=False)
+    net = GnutellaNetwork(u, sim, bus, config=GnutellaConfig(query_ttl=3), rng=1)
+    # deterministic roles: first 4 ultrapeers, rest leaves
+    for i, h in enumerate(u.hosts):
+        net.add_node(h, ULTRAPEER if i < 4 else LEAF)
+    net.bootstrap(cache_fill=11)
+    net.join_all()
+    sim.run()
+    return u, sim, net
+
+
+def test_duplicate_query_not_reflooded(tiny_net):
+    _u, sim, net = tiny_net
+    ups = net.ultrapeers()
+    a, b = ups[0], ups[1]
+    query = Query(guid=90_001, ttl=3, keyword=5, origin=a.host_id)
+    net.register_query(90_001, a.host_id, 5)
+    b._dispatch_count_before = dict(b.sent_counts)
+    # deliver the same query twice by hand
+    from repro.sim.messages import Message
+
+    msg = Message(src=a.host_id, dst=b.host_id, kind="QUERY", payload=query)
+    b._dispatch(msg)
+    sent_after_first = b.sent_counts.get("QUERY", 0)
+    b._dispatch(msg)
+    assert b.sent_counts.get("QUERY", 0) == sent_after_first  # dup dropped
+
+
+def test_ttl_one_query_not_forwarded(tiny_net):
+    _u, sim, net = tiny_net
+    ups = net.ultrapeers()
+    a, b = ups[0], ups[1]
+    from repro.sim.messages import Message
+
+    query = Query(guid=90_002, ttl=1, keyword=6, origin=a.host_id)
+    net.register_query(90_002, a.host_id, 6)
+    before = b.sent_counts.get("QUERY", 0)
+    b._dispatch(Message(src=a.host_id, dst=b.host_id, kind="QUERY", payload=query))
+    assert b.sent_counts.get("QUERY", 0) == before  # answered, not forwarded
+
+
+def test_ping_answered_with_pong_burst(tiny_net):
+    _u, sim, net = tiny_net
+    ups = net.ultrapeers()
+    a, b = ups[0], ups[1]
+    # prime b's pong cache
+    for hid in list(net.nodes)[:6]:
+        if hid != b.host_id:
+            b._learn_address(hid)
+    from repro.sim.messages import Message
+
+    before = b.sent_counts.get("PONG", 0)
+    ping = Ping(guid=90_003, ttl=1, origin=a.host_id)
+    b._dispatch(Message(src=a.host_id, dst=b.host_id, kind="PING", payload=ping))
+    burst = b.sent_counts.get("PONG", 0) - before
+    assert 1 <= burst <= b.config.pongs_per_ping
+
+
+def test_offline_node_send_raises(tiny_net):
+    _u, _sim, net = tiny_net
+    node = net.leaves()[0]
+    node.go_offline()
+    with pytest.raises(OverlayError):
+        node.send(net.ultrapeers()[0].host_id, "PING", None)
+
+
+def test_unknown_message_kind_raises(tiny_net):
+    _u, _sim, net = tiny_net
+    from repro.sim.messages import Message
+
+    node = net.ultrapeers()[0]
+    with pytest.raises(OverlayError):
+        node._dispatch(
+            Message(src=1, dst=node.host_id, kind="NO_SUCH_KIND", payload=None)
+        )
+
+
+def test_share_before_connect_announced_at_connect():
+    u = Underlay.generate(UnderlayConfig(n_hosts=12, seed=52))
+    sim = Simulation()
+    bus, _ = u.message_bus(sim, with_accounting=False)
+    net = GnutellaNetwork(u, sim, bus, rng=2)
+    for i, h in enumerate(u.hosts):
+        net.add_node(h, ULTRAPEER if i < 4 else LEAF)
+    # leaf gets content BEFORE joining
+    leaf = net.leaves()[0]
+    leaf.shared.add(777)
+    net.bootstrap(cache_fill=11)
+    net.join_all()
+    sim.run()
+    # its ultrapeers learned the content through the connect-time SHARE
+    assert any(
+        leaf.host_id in net.nodes[up].leaf_index.get(777, set())
+        for up in leaf.neighbors
+    )
+
+
+def test_queryhit_route_evaporation_dropped_silently(tiny_net):
+    _u, sim, net = tiny_net
+    from repro.overlay.gnutella.messages import QueryHit
+    from repro.sim.messages import Message
+
+    node = net.ultrapeers()[0]
+    # a hit for a guid this node never routed: must not raise
+    hit = QueryHit(guid=99_999, responder=3, keyword=1)
+    node._dispatch(
+        Message(src=net.ultrapeers()[1].host_id, dst=node.host_id,
+                kind="QUERYHIT", payload=hit)
+    )
+
+
+def test_leaf_does_not_accept_connections(tiny_net):
+    _u, sim, net = tiny_net
+    from repro.overlay.gnutella.messages import ConnectRequest
+    from repro.sim.messages import Message
+
+    leaf = net.leaves()[0]
+    other = net.leaves()[1]
+    before = set(leaf.neighbors)
+    leaf._dispatch(
+        Message(
+            src=other.host_id, dst=leaf.host_id, kind="CONNECT_REQUEST",
+            payload=ConnectRequest(peer=other.host_id, role=LEAF),
+        )
+    )
+    sim.run()
+    assert leaf.neighbors == before
+    assert other.host_id not in leaf.leaves

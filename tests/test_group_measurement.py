@@ -1,0 +1,81 @@
+"""Unit tests for gMeasure group-based measurement."""
+
+import numpy as np
+import pytest
+
+from repro.collection import GroupMeasurement
+from repro.errors import CollectionError
+
+
+@pytest.fixture(scope="module")
+def gm(dense_underlay):
+    g = GroupMeasurement(dense_underlay, rng=1)
+    g.build()
+    return g
+
+
+def test_build_elects_one_rep_per_group(dense_underlay, gm):
+    groups = {h.asn for h in dense_underlay.hosts}
+    assert set(gm._rep_of_group) == groups
+    for g, rep in gm._rep_of_group.items():
+        assert dense_underlay.asn_of(rep) == g
+
+
+def test_estimate_symmetric_and_nonnegative(dense_underlay, gm):
+    ids = dense_underlay.host_ids()
+    for a, b in zip(ids[:10], ids[10:20]):
+        assert gm.estimate(a, b) == gm.estimate(b, a)
+        assert gm.estimate(a, b) >= 0.0
+    assert gm.estimate(ids[0], ids[0]) == 0.0
+
+
+def test_calibration_deflates(dense_underlay):
+    raw = GroupMeasurement(dense_underlay, calibration_pairs=0, rng=2)
+    raw.build()
+    cal = GroupMeasurement(dense_underlay, calibration_pairs=20, rng=2)
+    cal.build()
+    assert raw.beta == 1.0
+    assert cal.beta < 1.0  # relay composition overestimates
+    assert cal.median_relative_error() < raw.median_relative_error()
+
+
+def test_accuracy_between_fullmesh_and_nothing(dense_underlay, gm):
+    # gMeasure should land well under 50% median error on its own hosts
+    assert gm.median_relative_error() < 0.45
+
+
+def test_probe_cost_subquadratic(dense_underlay, gm):
+    n = len(dense_underlay.hosts)
+    full_mesh = n * (n - 1) // 2
+    assert gm.probe_count() < 0.5 * full_mesh
+
+
+def test_estimate_before_build_rejected(dense_underlay):
+    g = GroupMeasurement(dense_underlay, rng=3)
+    ids = dense_underlay.host_ids()
+    with pytest.raises(CollectionError):
+        g.estimate(ids[0], ids[1])
+
+
+def test_unknown_host_rejected(gm):
+    with pytest.raises(CollectionError):
+        gm.estimate(10_000, 10_001)
+
+
+def test_validation(dense_underlay):
+    with pytest.raises(CollectionError):
+        GroupMeasurement(dense_underlay, probes=0)
+    with pytest.raises(CollectionError):
+        GroupMeasurement(dense_underlay, calibration_pairs=-1)
+    g = GroupMeasurement(dense_underlay, rng=1)
+    with pytest.raises(CollectionError):
+        g.build(host_ids=[dense_underlay.host_ids()[0]])
+
+
+def test_subset_build(dense_underlay):
+    ids = dense_underlay.host_ids()[:30]
+    g = GroupMeasurement(dense_underlay, rng=4)
+    g.build(host_ids=ids)
+    assert g.estimate(ids[0], ids[1]) > 0
+    with pytest.raises(CollectionError):
+        g.estimate(ids[0], dense_underlay.host_ids()[-1])

@@ -1,0 +1,92 @@
+"""Integration tests for the Plethora-style two-level DHT."""
+
+import pytest
+
+from repro.errors import OverlayError
+from repro.overlay import HierarchicalDHT
+from repro.sim import Simulation
+from repro.underlay import Underlay, UnderlayConfig
+
+
+@pytest.fixture(scope="module")
+def hdht():
+    u = Underlay.generate(UnderlayConfig(n_hosts=80, seed=9))
+    sim = Simulation()
+    h = HierarchicalDHT(u, sim, rng=2)
+    h.bootstrap_all()
+    sim.run(until=120_000)
+    return u, sim, h
+
+
+def _settle(sim, ms=60_000):
+    sim.run(until=sim.now + ms)
+
+
+def test_every_host_in_global_and_its_local_plane(hdht):
+    u, _sim, h = hdht
+    assert set(h.global_dht.nodes) == set(u.host_ids())
+    for region, dht in h.local_dht.items():
+        for hid in dht.nodes:
+            assert h.region_of(hid) == region
+
+
+def test_local_first_resolution_for_regional_content(hdht):
+    u, sim, h = hdht
+    ids = u.host_ids()
+    owner = ids[0]
+    h.publish(owner, "regional-doc")
+    _settle(sim)
+    reader = next(
+        x for x in ids[1:] if h.region_of(x) == h.region_of(owner)
+    )
+    rec = h.lookup(reader, "regional-doc")
+    _settle(sim)
+    assert rec.done and rec.values
+    assert rec.resolved_locally is True
+    assert owner in rec.values
+
+
+def test_global_fallback_and_cache_promotion(hdht):
+    u, sim, h = hdht
+    ids = u.host_ids()
+    owner = ids[0]
+    h.publish(owner, "remote-doc")
+    _settle(sim)
+    far = next(x for x in ids if h.region_of(x) != h.region_of(owner))
+    first = h.lookup(far, "remote-doc")
+    _settle(sim)
+    assert first.done and first.values
+    assert first.resolved_locally is False
+    # a second reader in the same far region now resolves locally
+    far2 = next(
+        x
+        for x in ids
+        if h.region_of(x) == h.region_of(far) and x != far
+    )
+    second = h.lookup(far2, "remote-doc")
+    _settle(sim)
+    assert second.done and second.values
+    assert second.resolved_locally is True
+
+
+def test_missing_content_fails_cleanly(hdht):
+    u, sim, h = hdht
+    rec = h.lookup(u.host_ids()[3], "never-published")
+    _settle(sim)
+    assert rec.done
+    assert not rec.values
+
+
+def test_plane_traffic_accounted(hdht):
+    _u, _sim, h = hdht
+    t = h.plane_traffic()
+    assert t["global_bytes"] > 0
+    assert t["local_bytes"] > 0
+    assert h.success_rate() > 0.6
+
+
+def test_needs_multiple_regions():
+    u = Underlay.generate(UnderlayConfig(n_hosts=20, seed=1))
+    sim = Simulation()
+    with pytest.raises(OverlayError):
+        HierarchicalDHT(u, sim, region_of=lambda hid: 0)

@@ -1,0 +1,63 @@
+"""Unit tests for the §6 oracle trust policies."""
+
+import pytest
+
+from repro.collection import ISPOracle, OraclePolicy
+
+
+@pytest.fixture(scope="module")
+def env(dense_underlay):
+    ids = dense_underlay.host_ids()
+    return dense_underlay, ids[0], ids[1:41]
+
+
+def test_default_policy_is_honest(dense_underlay):
+    assert ISPOracle(dense_underlay).policy is OraclePolicy.HONEST
+
+
+def test_honest_equals_pure_hop_order(env):
+    u, q, cands = env
+    oracle = ISPOracle(u, policy=OraclePolicy.HONEST)
+    ranked = oracle.rank(q, cands)
+    hops = [u.routing.hops(u.asn_of(q), u.asn_of(c)) for c in ranked]
+    assert hops == sorted(hops)
+
+
+def test_cooperative_same_hop_order_better_tiebreaks(env):
+    u, q, cands = env
+    honest = ISPOracle(u, policy=OraclePolicy.HONEST).rank(q, cands)
+    coop = ISPOracle(u, policy=OraclePolicy.COOPERATIVE).rank(q, cands)
+    # same multiset per hop tier...
+    def tiers(ranked):
+        out = {}
+        for c in ranked:
+            out.setdefault(u.routing.hops(u.asn_of(q), u.asn_of(c)), []).append(c)
+        return out
+
+    th, tc = tiers(honest), tiers(coop)
+    assert {k: sorted(v) for k, v in th.items()} == {
+        k: sorted(v) for k, v in tc.items()
+    }
+    # ...but cooperative orders each tier by descending capacity
+    for tier in tc.values():
+        caps = [u.host(c).resources.capacity_score() for c in tier]
+        assert caps == sorted(caps, reverse=True)
+
+
+def test_malicious_reverses_hop_order(env):
+    u, q, cands = env
+    ranked = ISPOracle(u, policy=OraclePolicy.MALICIOUS).rank(q, cands)
+    hops = [u.routing.hops(u.asn_of(q), u.asn_of(c)) for c in ranked]
+    assert hops == sorted(hops, reverse=True)
+    # a same-AS candidate, if present, lands at the tail
+    same = [c for c in cands if u.asn_of(c) == u.asn_of(q)]
+    if same:
+        tail = ranked[-len(same):]
+        assert set(same) <= set(tail)
+
+
+def test_all_policies_return_permutations(env):
+    u, q, cands = env
+    for policy in OraclePolicy:
+        ranked = ISPOracle(u, policy=policy).rank(q, cands)
+        assert sorted(ranked) == sorted(cands)

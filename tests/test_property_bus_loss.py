@@ -1,0 +1,64 @@
+"""Property tests: message bus invariants, with and without loss."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import MessageBus, Simulation
+
+
+class FixedLatency:
+    def __init__(self, delay=1.0):
+        self.delay = delay
+
+    def one_way_delay(self, src, dst):
+        return self.delay
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=9), max_size=60),
+    st.floats(min_value=0.0, max_value=0.9),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_conservation_under_loss(payloads, loss, seed):
+    sim = Simulation()
+    bus = MessageBus(sim, FixedLatency(), loss_rate=loss, loss_seed=seed)
+    got = []
+    bus.register("dst", lambda m: got.append(m.payload))
+    for p in payloads:
+        bus.send("src", "dst", "K", payload=p)
+    sim.run()
+    stats = bus.stats
+    assert stats.sent == len(payloads)
+    assert stats.delivered + stats.dropped_loss + stats.dropped_no_handler == stats.sent
+    assert len(got) == stats.delivered
+    # delivered payloads are a subsequence of the sent ones (order kept)
+    it = iter(payloads)
+    assert all(any(p == q for q in it) for p in got)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=5), max_size=40))
+def test_per_pair_fifo_without_loss(payloads):
+    sim = Simulation()
+    bus = MessageBus(sim, FixedLatency(2.5))
+    got = []
+    bus.register("d", lambda m: got.append(m.payload))
+    for p in payloads:
+        bus.send("s", "d", "K", payload=p)
+    sim.run()
+    assert got == payloads
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(0, 100)),
+        max_size=50,
+    )
+)
+def test_byte_accounting_matches_sends(msgs):
+    sim = Simulation()
+    bus = MessageBus(sim, FixedLatency())
+    for dst, size in msgs:
+        bus.send("src", dst, "K", size_bytes=size)
+    sim.run()
+    assert bus.stats.bytes_sent == sum(size for _d, size in msgs)
+    assert bus.stats.by_kind.get("K", 0) == len(msgs)

@@ -1,0 +1,62 @@
+"""Property tests: Chord ring algebra and ownership partition."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.overlay.chord import RING, chord_id, in_interval
+
+ring_points = st.integers(min_value=0, max_value=RING - 1)
+
+
+@given(ring_points, ring_points, ring_points)
+def test_interval_partition(x, a, b):
+    """For a != b, every x is in exactly one of (a, b] and (b, a]."""
+    if a == b:
+        return
+    assert in_interval(x, a, b) != in_interval(x, b, a)
+
+
+@given(ring_points, ring_points)
+def test_endpoint_membership(a, b):
+    if a == b:
+        return
+    assert in_interval(b, a, b)        # b ∈ (a, b]
+    assert not in_interval(a, a, b)    # a ∉ (a, b]
+
+
+@given(st.text(max_size=30))
+def test_chord_id_stable_and_in_range(s):
+    k1, k2 = chord_id(s), chord_id(s)
+    assert k1 == k2
+    assert 0 <= k1 < RING
+
+
+@given(
+    st.sets(ring_points, min_size=2, max_size=30),
+    st.lists(ring_points, min_size=1, max_size=30),
+)
+def test_successor_ownership_partitions_keys(node_ids, keys):
+    """Global successor ownership: every key has exactly one owner, and it
+    is the first node clockwise from the key."""
+    ring = sorted(node_ids)
+
+    def owner(key):
+        idx = int(np.searchsorted(ring, key))
+        return ring[idx % len(ring)]
+
+    for key in keys:
+        o = owner(key)
+        # the owner's predecessor interval contains the key
+        pred = ring[(ring.index(o) - 1) % len(ring)]
+        if pred != o:
+            assert in_interval(key, pred, o)
+        # and no other node's interval does
+        owners = 0
+        for i, nid in enumerate(ring):
+            p = ring[i - 1]
+            if p == nid:
+                owners += 1
+            elif in_interval(key, p, nid):
+                owners += 1
+        assert owners == 1

@@ -1,0 +1,91 @@
+"""Property tests: coordinate systems and distance-matrix invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.coords import ICS, ICSConfig, validate_distance_matrix
+from repro.errors import CoordinateError
+
+
+def symmetric_distance_matrices(max_n=8):
+    """Random symmetric non-negative matrices with zero diagonal."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=2, max_value=max_n))
+        vals = draw(
+            hnp.arrays(
+                dtype=float,
+                shape=(n, n),
+                elements=st.floats(min_value=0.1, max_value=100.0),
+            )
+        )
+        mat = (vals + vals.T) / 2.0
+        np.fill_diagonal(mat, 0.0)
+        return mat
+
+    return build()
+
+
+@given(symmetric_distance_matrices())
+def test_ics_alpha_nonnegative_and_estimates_symmetric(mat):
+    ics = ICS(mat, ICSConfig(variance_threshold=0.9))
+    assert ics.alpha >= 0.0
+    for i in range(mat.shape[0]):
+        for j in range(mat.shape[0]):
+            assert ics.estimate(i, j) >= 0.0
+            assert np.isclose(ics.estimate(i, j), ics.estimate(j, i))
+        assert np.isclose(ics.estimate(i, i), 0.0)
+
+
+@given(symmetric_distance_matrices(), st.floats(min_value=0.1, max_value=10.0))
+def test_ics_estimates_scale_linearly(mat, scale):
+    """Scaling all measured delays by c scales all estimates by c.
+
+    Tested at full dimension: truncated PCA is only basis-unique when the
+    cut does not split a degenerate eigenvalue group, so partial-dimension
+    embeddings of scaled matrices may legitimately differ.
+    """
+    n = mat.shape[0]
+    base = ICS(mat, ICSConfig(dim=n))
+    scaled = ICS(mat * scale, ICSConfig(dim=n))
+    for i in range(mat.shape[0]):
+        for j in range(i + 1, mat.shape[0]):
+            assert np.isclose(
+                scaled.estimate(i, j), base.estimate(i, j) * scale,
+                rtol=1e-6, atol=1e-9,
+            )
+
+
+@given(symmetric_distance_matrices())
+def test_ics_full_dim_never_worse_than_dim1(mat):
+    """More PCA dimensions cannot increase the fitting residual."""
+    n = mat.shape[0]
+    iu = np.triu_indices(n, 1)
+
+    def residual(ics):
+        pred = np.array(
+            [[ics.estimate(i, j) for j in range(n)] for i in range(n)]
+        )
+        return float(np.sum((pred[iu] - mat[iu]) ** 2))
+
+    low = ICS(mat, ICSConfig(dim=1))
+    full = ICS(mat, ICSConfig(dim=n))
+    assert residual(full) <= residual(low) + 1e-6
+
+
+@given(
+    hnp.arrays(
+        dtype=float, shape=(4, 4),
+        elements=st.floats(min_value=-5, max_value=5),
+    )
+)
+def test_validate_distance_matrix_rejects_negative(mat):
+    assume((mat < 0).any())
+    try:
+        validate_distance_matrix(mat)
+    except CoordinateError:
+        return
+    raise AssertionError("negative matrix accepted")

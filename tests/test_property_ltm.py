@@ -1,0 +1,71 @@
+"""Property tests: LTM never disconnects a graph and never increases the
+mean neighbour delay."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ltm_round, mean_neighbor_delay, run_ltm
+
+
+@st.composite
+def delay_graphs(draw):
+    """A connected random graph plus a symmetric positive delay function."""
+    n = draw(st.integers(min_value=4, max_value=14))
+    extra = draw(st.integers(min_value=0, max_value=2 * n))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    g = nx.random_labeled_tree(n, seed=seed)  # connected backbone
+    for _ in range(extra):
+        a, b = rng.integers(0, n, size=2)
+        if a != b:
+            g.add_edge(int(a), int(b))
+    delays = {}
+
+    def delay_of(x, y):
+        key = frozenset((x, y))
+        if key not in delays:
+            pair_rng = np.random.default_rng(seed * 131_071 + hash(key) % 65_536)
+            delays[key] = float(pair_rng.uniform(1.0, 100.0))
+        return delays[key]
+
+    return g, delay_of
+
+
+@settings(max_examples=40, deadline=None)
+@given(delay_graphs(), st.floats(min_value=0.5, max_value=1.0))
+def test_ltm_preserves_connectivity(gd, slack):
+    g, delay_of = gd
+    assume(g.number_of_edges() >= 1)
+    run_ltm(g, delay_of, max_rounds=5, slack=slack)
+    assert nx.is_connected(g)
+
+
+@settings(max_examples=40, deadline=None)
+@given(delay_graphs())
+def test_ltm_without_replacements_only_removes_relayed_links(gd):
+    g, delay_of = gd
+    assume(g.number_of_edges() >= 1)
+    before_edges = set(map(frozenset, g.edges()))
+    graph_before = g.copy()
+    run_ltm(g, delay_of, max_rounds=5, add_replacements=False)
+    after_edges = set(map(frozenset, g.edges()))
+    # no additions, and every removed link had a cheaper 2-hop relay in the
+    # pre-cut graph (the defining LTM condition)
+    assert after_edges <= before_edges
+    for removed in before_edges - after_edges:
+        a, b = tuple(removed)
+        common = set(graph_before.neighbors(a)) & set(graph_before.neighbors(b))
+        assert any(
+            delay_of(a, c) + delay_of(c, b) < delay_of(a, b) for c in common
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(delay_graphs())
+def test_ltm_round_is_idempotent_at_fixpoint(gd):
+    g, delay_of = gd
+    assume(g.number_of_edges() >= 1)
+    run_ltm(g, delay_of, max_rounds=10, add_replacements=False)
+    assert ltm_round(g, delay_of, add_replacements=False) == 0

@@ -1,0 +1,96 @@
+"""Property tests over generated topologies: valley-free routing and
+traffic-accounting conservation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.underlay import (
+    ASRouting,
+    TopologyConfig,
+    TrafficAccountant,
+    Underlay,
+    UnderlayConfig,
+    generate_topology,
+)
+
+topo_configs = st.builds(
+    TopologyConfig,
+    n_tier1=st.integers(min_value=1, max_value=4),
+    n_tier2=st.integers(min_value=2, max_value=8),
+    n_stub=st.integers(min_value=2, max_value=15),
+    n_regions=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+
+
+def _is_valley_free(topo, path):
+    phase = "up"
+    for a, b in zip(path, path[1:]):
+        asys = topo.asys(a)
+        if b in asys.providers:
+            step = "up"
+        elif b in asys.peers:
+            step = "peer"
+        elif b in asys.customers:
+            step = "down"
+        else:
+            return False
+        if phase == "up":
+            phase = step
+        elif phase in ("peer", "down"):
+            if step != "down":
+                return False
+            phase = "down"
+    return True
+
+
+@settings(max_examples=25, deadline=None)
+@given(topo_configs)
+def test_generated_topologies_fully_valley_free_routable(cfg):
+    topo = generate_topology(cfg)
+    routing = ASRouting(topo)
+    mat = routing.hop_matrix()  # raises if any pair unroutable
+    assert (mat >= 0).all()
+    # spot-check path structure from a few sources
+    n = len(topo)
+    for src in range(0, n, max(1, n // 4)):
+        for dst in range(0, n, max(1, n // 3)):
+            path = routing.path(src, dst)
+            assert path[0] == src and path[-1] == dst
+            assert len(set(path)) == len(path)  # loop-free
+            assert _is_valley_free(topo, path), path
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=29),
+            st.integers(min_value=0, max_value=29),
+            st.integers(min_value=1, max_value=10_000),
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+)
+def test_traffic_accounting_conserves_bytes(seed, messages):
+    underlay = Underlay.generate(UnderlayConfig(n_hosts=30, seed=seed % 100))
+    acct = TrafficAccountant(underlay.topology, underlay.routing, underlay.asn_of)
+    ids = underlay.host_ids()
+    sent = 0
+    for src_i, dst_i, size in messages:
+        src, dst = ids[src_i], ids[dst_i]
+        if src == dst:
+            continue
+        acct.observe(src, dst, size, "K")
+        sent += size
+    # every sent byte lands in exactly one class
+    assert acct.summary.total_bytes == sent
+    # link-level bytes: each inter-AS message charges each traversed link
+    # once, so link totals are at least the inter-AS class totals
+    inter = acct.summary.peering_bytes + acct.summary.transit_bytes
+    assert sum(acct.link_bytes.values()) >= inter
+    # paying ASes exist iff transit was crossed
+    assert bool(acct.paid_transit_bytes) == (acct.summary.transit_bytes > 0)

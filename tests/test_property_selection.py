@@ -1,0 +1,74 @@
+"""Property tests: every neighbor-selection strategy returns a permutation
+of its (deduplicated) input, and composites respect dominance."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CompositeSelection,
+    LatencySelection,
+    RandomSelection,
+    ResourceSelection,
+)
+
+host_lists = st.lists(
+    st.integers(min_value=0, max_value=500), min_size=0, max_size=40
+)
+
+
+def _fake_rtt(a, b):
+    return float(abs(hash((min(a, b), max(a, b)))) % 1000 + 1)
+
+
+def _fake_capacity(hid):
+    return float(hash(hid) % 777)
+
+
+@given(host_lists, st.integers(min_value=0, max_value=2**31 - 1))
+def test_random_permutation_property(cands, seed):
+    out = RandomSelection(rng=seed).rank(0, cands)
+    assert sorted(out) == sorted(set(cands))
+
+
+@given(host_lists)
+def test_latency_permutation_and_order(cands):
+    out = LatencySelection(_fake_rtt).rank(0, cands)
+    assert sorted(out) == sorted(set(cands))
+    rtts = [_fake_rtt(0, c) for c in out]
+    assert rtts == sorted(rtts)
+
+
+@given(host_lists)
+def test_resource_permutation_and_order(cands):
+    out = ResourceSelection(_fake_capacity).rank(0, cands)
+    assert sorted(out) == sorted(set(cands))
+    caps = [_fake_capacity(c) for c in out]
+    assert caps == sorted(caps, reverse=True)
+
+
+@given(host_lists, st.integers(min_value=0, max_value=100))
+def test_select_k_is_prefix_of_rank(cands, k):
+    sel = LatencySelection(_fake_rtt)
+    ranked = sel.rank(0, cands)
+    assert sel.select(0, cands, k) == ranked[:k]
+
+
+@given(host_lists)
+def test_composite_permutation(cands):
+    comp = CompositeSelection(
+        [
+            (LatencySelection(_fake_rtt), 0.6),
+            (ResourceSelection(_fake_capacity), 0.4),
+        ]
+    )
+    out = comp.rank(0, cands)
+    assert sorted(out) == sorted(set(cands))
+
+
+@given(host_lists)
+def test_composite_with_unanimous_components_matches_them(cands):
+    # two copies of the same strategy must reproduce its order
+    lat = LatencySelection(_fake_rtt)
+    comp = CompositeSelection([(lat, 0.5), (LatencySelection(_fake_rtt), 0.5)])
+    assert comp.rank(0, cands) == lat.rank(0, cands)

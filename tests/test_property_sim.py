@@ -1,0 +1,68 @@
+"""Property tests: the event engine preserves causal order."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulation
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_events_fire_in_nondecreasing_time_order(delays):
+    sim = Simulation()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: fired.append(sim.now))
+    sim.run()
+    assert len(fired) == len(delays)
+    assert fired == sorted(fired)
+    assert fired == sorted(delays)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_chained_scheduling_never_goes_backwards(pairs):
+    sim = Simulation()
+    observed = []
+
+    def outer(extra):
+        observed.append(sim.now)
+        sim.schedule(extra, inner)
+
+    def inner():
+        observed.append(sim.now)
+
+    for first, second in pairs:
+        sim.schedule(first, outer, second)
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == 2 * len(pairs)
+
+
+@given(st.integers(min_value=0, max_value=40), st.integers(min_value=0, max_value=40))
+def test_cancellation_removes_exactly_the_cancelled(n_keep, n_cancel):
+    sim = Simulation()
+    fired = []
+    handles = []
+    for i in range(n_keep):
+        sim.schedule(float(i), fired.append, ("keep", i))
+    for i in range(n_cancel):
+        handles.append(sim.schedule(float(i) + 0.5, fired.append, ("drop", i)))
+    for h in handles:
+        h.cancel()
+    sim.run()
+    assert len(fired) == n_keep
+    assert all(tag == "keep" for tag, _i in fired)

@@ -1,0 +1,59 @@
+"""Public-API contract: every name in every package ``__all__`` resolves,
+and the top-level façade re-exports what the README promises."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.underlay",
+    "repro.coords",
+    "repro.collection",
+    "repro.overlay",
+    "repro.overlay.gnutella",
+    "repro.overlay.kademlia",
+    "repro.overlay.bittorrent",
+    "repro.overlay.geo",
+    "repro.overlay.superpeer",
+    "repro.core",
+    "repro.metrics",
+    "repro.workloads",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_names_resolve(package):
+    mod = importlib.import_module(package)
+    assert hasattr(mod, "__all__"), f"{package} lacks __all__"
+    for name in mod.__all__:
+        assert hasattr(mod, name), f"{package}.{name} in __all__ but missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_is_sorted_unique(package):
+    mod = importlib.import_module(package)
+    names = list(mod.__all__)
+    assert names == sorted(names), f"{package}.__all__ is not sorted"
+    assert len(names) == len(set(names)), f"{package}.__all__ has duplicates"
+
+
+def test_readme_quickstart_names():
+    import repro
+
+    for name in ("Underlay", "UnderlayConfig", "UnderlayAwarenessFramework",
+                 "Simulation", "__version__"):
+        assert hasattr(repro, name)
+
+    from repro.collection import GPSService, ISPOracle  # noqa: F401
+    from repro.core import FILE_SHARING, REAL_TIME  # noqa: F401
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)

@@ -1,0 +1,40 @@
+"""Unit tests for RNG utilities."""
+
+import numpy as np
+import pytest
+
+from repro.rng import ensure_rng, spawn
+
+
+def test_ensure_rng_from_int_is_deterministic():
+    a = ensure_rng(42).random(5)
+    b = ensure_rng(42).random(5)
+    assert np.allclose(a, b)
+
+
+def test_ensure_rng_passthrough():
+    gen = np.random.default_rng(1)
+    assert ensure_rng(gen) is gen
+
+
+def test_ensure_rng_none_gives_generator():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+def test_spawn_children_are_independent_and_deterministic():
+    kids_a = spawn(ensure_rng(7), 3)
+    kids_b = spawn(ensure_rng(7), 3)
+    for ka, kb in zip(kids_a, kids_b):
+        assert np.allclose(ka.random(4), kb.random(4))
+    # different children differ
+    vals = [k.random() for k in spawn(ensure_rng(7), 3)]
+    assert len(set(vals)) == 3
+
+
+def test_spawn_negative_rejected():
+    with pytest.raises(ValueError):
+        spawn(ensure_rng(0), -1)
+
+
+def test_spawn_zero_is_empty():
+    assert spawn(ensure_rng(0), 0) == []

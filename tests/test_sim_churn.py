@@ -1,0 +1,89 @@
+"""Unit tests for churn models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import ChurnConfig, ChurnProcess, Simulation, draw_duration
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        ChurnConfig(mean_session=-1.0)
+    with pytest.raises(ConfigurationError):
+        ChurnConfig(session_dist="lognormal")
+
+
+@pytest.mark.parametrize("family", ["exponential", "pareto", "weibull"])
+def test_draw_duration_mean_roughly_matches(family):
+    rng = np.random.default_rng(0)
+    mean = 100.0
+    samples = [draw_duration(rng, family, mean) for _ in range(4000)]
+    assert all(s >= 0 for s in samples)
+    # heavy-tailed families converge slowly; allow a generous band
+    assert 0.6 * mean < np.mean(samples) < 1.6 * mean
+
+
+def test_churn_alternates_join_and_leave():
+    sim = Simulation()
+    events = []
+    proc = ChurnProcess(
+        sim,
+        peers=["p"],
+        config=ChurnConfig(mean_session=100.0, mean_offline=50.0),
+        on_join=lambda p: events.append(("join", sim.now)),
+        on_leave=lambda p: events.append(("leave", sim.now)),
+        rng=1,
+    )
+    proc.start(warmup=10.0)
+    sim.run(until=2000.0)
+    kinds = [k for k, _t in events]
+    # strictly alternating starting with join
+    assert kinds[0] == "join"
+    assert all(a != b for a, b in zip(kinds, kinds[1:]))
+    times = [t for _k, t in events]
+    assert times == sorted(times)
+
+
+def test_online_set_tracks_membership():
+    sim = Simulation()
+    proc = ChurnProcess(
+        sim,
+        peers=list(range(20)),
+        config=ChurnConfig(mean_session=500.0, mean_offline=500.0),
+        on_join=lambda p: None,
+        on_leave=lambda p: None,
+        rng=2,
+    )
+    proc.start(warmup=50.0)
+    sim.run(until=1000.0)
+    assert proc.joins >= proc.leaves
+    assert len(proc.online) == proc.joins - proc.leaves
+
+
+def test_stop_freezes_process():
+    sim = Simulation()
+    proc = ChurnProcess(
+        sim,
+        peers=list(range(5)),
+        config=ChurnConfig(mean_session=10.0, mean_offline=10.0),
+        on_join=lambda p: None,
+        on_leave=lambda p: None,
+        rng=3,
+    )
+    proc.start(warmup=1.0)
+    sim.run(until=100.0)
+    joins_before = proc.joins
+    proc.stop()
+    sim.run(until=10_000.0)
+    assert proc.joins == joins_before
+
+
+def test_negative_warmup_rejected():
+    sim = Simulation()
+    proc = ChurnProcess(
+        sim, peers=[1], config=ChurnConfig(),
+        on_join=lambda p: None, on_leave=lambda p: None,
+    )
+    with pytest.raises(ConfigurationError):
+        proc.start(warmup=-1.0)

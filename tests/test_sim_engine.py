@@ -1,0 +1,121 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulation
+
+
+def test_runs_events_in_time_order():
+    sim = Simulation()
+    order = []
+    sim.schedule(3.0, order.append, "c")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(2.0, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_broken_by_insertion_order():
+    sim = Simulation()
+    order = []
+    for tag in ("first", "second", "third"):
+        sim.schedule(5.0, order.append, tag)
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulation()
+    seen = []
+    sim.schedule(7.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [7.5]
+    assert sim.now == 7.5
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulation()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(10.0, fired.append, 2)
+    sim.run(until=5.0)
+    assert fired == [1]
+    assert sim.now == 5.0  # clock advanced to the horizon
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_events_scheduled_during_run_are_processed():
+    sim = Simulation()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulation()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    sim.schedule(0.5, fired.append, "y")
+    handle.cancel()
+    assert handle.cancelled
+    sim.run()
+    assert fired == ["y"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_in_the_past_rejected():
+    sim = Simulation(start_time=10.0)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_max_events_limits_processing():
+    sim = Simulation()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i), fired.append, i)
+    sim.run(max_events=4)
+    assert fired == [0, 1, 2, 3]
+
+
+def test_pending_and_peek():
+    sim = Simulation()
+    assert sim.peek_time() is None
+    h = sim.schedule(2.0, lambda: None)
+    sim.schedule(4.0, lambda: None)
+    assert sim.peek_time() == 2.0
+    assert sim.pending() == 2
+    h.cancel()
+    assert sim.peek_time() == 4.0
+    assert sim.pending() == 1
+
+
+def test_step_returns_false_on_empty_queue():
+    sim = Simulation()
+    assert sim.step() is False
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_events_processed_counter():
+    sim = Simulation()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5

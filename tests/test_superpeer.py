@@ -1,0 +1,117 @@
+"""Unit tests for the resource-aware hybrid overlay."""
+
+import pytest
+
+from repro.errors import OverlayError
+from repro.overlay.superpeer import ElectionPolicy, SuperPeerOverlay
+
+
+def test_capacity_election_picks_strongest(small_underlay):
+    sp = SuperPeerOverlay(
+        small_underlay, policy=ElectionPolicy.CAPACITY,
+        superpeer_fraction=0.2, rng=1,
+    )
+    elected = sp.elect()
+    scores = {
+        h.host_id: h.resources.capacity_score() for h in small_underlay.hosts
+    }
+    cutoff = sorted(scores.values(), reverse=True)[len(elected) - 1]
+    assert all(scores[e] >= cutoff for e in elected)
+
+
+def test_skyeye_election_close_to_omniscient(small_underlay):
+    sp1 = SuperPeerOverlay(small_underlay, superpeer_fraction=0.2, rng=1)
+    direct = set(sp1.elect(use_skyeye=False))
+    sp2 = SuperPeerOverlay(small_underlay, superpeer_fraction=0.2, rng=1)
+    via_skyeye = set(sp2.elect(use_skyeye=True))
+    assert direct == via_skyeye  # exact aggregation -> identical result
+
+
+def test_random_election_differs_from_capacity(small_underlay):
+    cap = SuperPeerOverlay(
+        small_underlay, policy=ElectionPolicy.CAPACITY, superpeer_fraction=0.2,
+        rng=2,
+    ).elect()
+    rand = SuperPeerOverlay(
+        small_underlay, policy=ElectionPolicy.RANDOM, superpeer_fraction=0.2,
+        rng=2,
+    ).elect()
+    assert set(cap) != set(rand)
+
+
+def test_attach_respects_capacity_limit(small_underlay):
+    sp = SuperPeerOverlay(
+        small_underlay, superpeer_fraction=0.2,
+        max_leaves_per_superpeer=5, rng=3,
+    )
+    sp.elect()
+    sp.attach_leaves()
+    load: dict[int, int] = {}
+    for leaf, s in sp.leaf_assignment.items():
+        load[s] = load.get(s, 0) + 1
+        assert leaf not in sp.superpeers
+    assert max(load.values()) <= 5
+
+
+def test_attach_before_elect_rejected(small_underlay):
+    sp = SuperPeerOverlay(small_underlay, rng=1)
+    with pytest.raises(OverlayError):
+        sp.attach_leaves()
+
+
+def test_capacity_exhaustion_raises(small_underlay):
+    sp = SuperPeerOverlay(
+        small_underlay, superpeer_fraction=0.05,
+        max_leaves_per_superpeer=2, rng=1,
+    )
+    sp.elect()
+    with pytest.raises(OverlayError):
+        sp.attach_leaves()
+
+
+def test_leaves_attach_to_nearby_superpeer(small_underlay):
+    u = small_underlay
+    sp = SuperPeerOverlay(u, superpeer_fraction=0.25, rng=4)
+    sp.elect()
+    sp.attach_leaves()
+    # each leaf's assigned SP should be among its 5 closest SPs by RTT
+    for leaf, assigned in list(sp.leaf_assignment.items())[:10]:
+        ranked = sorted(
+            sp.superpeers, key=lambda s: u.one_way_delay(leaf, s)
+        )
+        assert assigned in ranked[:5]
+
+
+def test_report_metrics(small_underlay):
+    sp = SuperPeerOverlay(small_underlay, superpeer_fraction=0.2, rng=5)
+    sp.elect()
+    sp.attach_leaves()
+    rep = sp.report(n_search_samples=100)
+    assert rep.n_superpeers == len(sp.superpeers)
+    assert rep.mean_search_latency_ms > 0
+    assert rep.mean_superpeer_session_h > 0
+    assert rep.max_leaf_load <= sp.max_leaves
+
+
+def test_capacity_beats_random_on_stability(small_underlay):
+    reports = {}
+    for pol in (ElectionPolicy.RANDOM, ElectionPolicy.CAPACITY):
+        sp = SuperPeerOverlay(
+            small_underlay, policy=pol, superpeer_fraction=0.2, rng=6
+        )
+        sp.elect()
+        sp.attach_leaves()
+        reports[pol] = sp.report()
+    assert (
+        reports[ElectionPolicy.CAPACITY].mean_superpeer_up_kbps
+        > reports[ElectionPolicy.RANDOM].mean_superpeer_up_kbps
+    )
+    assert (
+        reports[ElectionPolicy.CAPACITY].mean_superpeer_session_h
+        > reports[ElectionPolicy.RANDOM].mean_superpeer_session_h
+    )
+
+
+def test_invalid_fraction_rejected(small_underlay):
+    with pytest.raises(OverlayError):
+        SuperPeerOverlay(small_underlay, superpeer_fraction=0.0)

@@ -1,0 +1,77 @@
+"""Unit tests for the ISP cost model (Figure 2 economics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.underlay import CostModel, CostParams
+
+
+@pytest.fixture()
+def model():
+    return CostModel(CostParams(transit_usd_per_mbps_month=10.0,
+                                peering_flat_usd_month=2000.0))
+
+
+def test_params_validation():
+    with pytest.raises(ConfigurationError):
+        CostParams(transit_usd_per_mbps_month=0)
+    with pytest.raises(ConfigurationError):
+        CostParams(billing_percentile=0)
+
+
+def test_transit_cost_proportional(model):
+    assert model.transit_monthly_cost(100.0) == pytest.approx(1000.0)
+    assert model.transit_monthly_cost(200.0) == pytest.approx(
+        2 * model.transit_monthly_cost(100.0)
+    )
+
+
+def test_transit_per_mbps_constant(model):
+    assert model.transit_cost_per_mbps(1.0) == model.transit_cost_per_mbps(1e4)
+
+
+def test_peering_flat_and_inverse_per_mbps(model):
+    assert model.peering_monthly_cost(10.0) == model.peering_monthly_cost(1e4)
+    assert model.peering_cost_per_mbps(200.0) == pytest.approx(10.0)
+    # inverse proportionality: double traffic -> half unit cost
+    assert model.peering_cost_per_mbps(400.0) == pytest.approx(
+        model.peering_cost_per_mbps(200.0) / 2
+    )
+
+
+def test_crossover(model):
+    x = model.crossover_mbps()
+    assert x == pytest.approx(200.0)
+    assert model.transit_monthly_cost(x) == pytest.approx(
+        model.peering_monthly_cost()
+    )
+    # beyond the crossover peering wins
+    assert model.transit_monthly_cost(2 * x) > model.peering_monthly_cost()
+
+
+def test_percentile_billing_ignores_rare_spikes(model):
+    samples = [10.0] * 99 + [1000.0]
+    assert model.billable_mbps(samples) < 1000.0
+    assert model.billable_mbps(samples, percentile=100) == pytest.approx(1000.0)
+
+
+def test_billable_empty_is_zero(model):
+    assert model.billable_mbps([]) == 0.0
+
+
+def test_billable_rejects_negative(model):
+    with pytest.raises(ConfigurationError):
+        model.billable_mbps([1.0, -2.0])
+
+
+def test_figure2_series_shape(model):
+    rows = model.figure2_series([1.0, 10.0, 100.0])
+    assert len(rows) == 3
+    assert rows[0]["transit_per_mbps_usd"] == rows[2]["transit_per_mbps_usd"]
+    assert rows[0]["peering_per_mbps_usd"] > rows[2]["peering_per_mbps_usd"]
+
+
+def test_figure2_rejects_nonpositive_traffic(model):
+    with pytest.raises(ConfigurationError):
+        model.figure2_series([0.0])

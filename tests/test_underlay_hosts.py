@@ -1,0 +1,79 @@
+"""Unit tests for hosts and the host factory."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.underlay import (
+    ACCESS_CLASSES,
+    HostFactory,
+    PeerResources,
+    TopologyConfig,
+    generate_topology,
+)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return generate_topology(TopologyConfig(seed=4))
+
+
+def test_resources_validation():
+    with pytest.raises(ConfigurationError):
+        PeerResources(-1, 0, 0, 0, 0, 0)
+
+
+def test_capacity_score_orders_classes():
+    dialup = ACCESS_CLASSES[0][2]
+    fiber = ACCESS_CLASSES[3][2]
+    assert fiber.capacity_score() > dialup.capacity_score()
+
+
+def test_hosts_balanced_over_stubs(topo):
+    factory = HostFactory(topo, rng=1)
+    hosts = factory.create_hosts(100)
+    stubs = topo.stub_asns()
+    counts = {asn: 0 for asn in stubs}
+    for h in hosts:
+        counts[h.asn] += 1
+    assert max(counts.values()) - min(counts.values()) <= 1
+
+
+def test_explicit_asns_round_robin(topo):
+    factory = HostFactory(topo, rng=1)
+    hosts = factory.create_hosts(9, asns=[0, 1, 2])
+    assert [h.asn for h in hosts] == [0, 1, 2] * 3
+
+
+def test_host_ids_sequential_with_start(topo):
+    factory = HostFactory(topo, rng=1)
+    hosts = factory.create_hosts(5, start_id=100)
+    assert [h.host_id for h in hosts] == [100, 101, 102, 103, 104]
+
+
+def test_access_class_mix_present(topo):
+    factory = HostFactory(topo, rng=2)
+    hosts = factory.create_hosts(400)
+    classes = {h.access_class for h in hosts}
+    assert classes == {"dialup", "dsl", "cable", "fiber"}
+
+
+def test_access_latency_within_class_range(topo):
+    factory = HostFactory(topo, rng=3)
+    ranges = {name: rng for name, _w, _r, rng in ACCESS_CLASSES}
+    for h in factory.create_hosts(200):
+        lo, hi = ranges[h.access_class]
+        assert lo <= h.access_latency_ms <= hi
+
+
+def test_deterministic_given_seed(topo):
+    a = HostFactory(topo, rng=7).create_hosts(30)
+    b = HostFactory(topo, rng=7).create_hosts(30)
+    assert [(h.asn, h.access_class, h.access_latency_ms) for h in a] == [
+        (h.asn, h.access_class, h.access_latency_ms) for h in b
+    ]
+
+
+def test_negative_count_rejected(topo):
+    with pytest.raises(ConfigurationError):
+        HostFactory(topo, rng=1).create_hosts(-1)

@@ -1,0 +1,71 @@
+"""Unit tests for the Underlay facade."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.sim import Simulation
+from repro.underlay import Underlay, UnderlayConfig
+
+
+def test_generate_is_deterministic():
+    a = Underlay.generate(UnderlayConfig(n_hosts=20, seed=5))
+    b = Underlay.generate(UnderlayConfig(n_hosts=20, seed=5))
+    assert np.allclose(a.latency_matrix, b.latency_matrix)
+    assert [h.asn for h in a.hosts] == [h.asn for h in b.hosts]
+
+
+def test_host_lookup(small_underlay):
+    u = small_underlay
+    h = u.hosts[5]
+    assert u.host(h.host_id) is h
+    with pytest.raises(TopologyError):
+        u.host(99_999)
+
+
+def test_asn_of_and_hosts_in_as(small_underlay):
+    u = small_underlay
+    h = u.hosts[0]
+    assert u.asn_of(h.host_id) == h.asn
+    assert h in u.hosts_in_as(h.asn)
+
+
+def test_latency_provider_protocol(small_underlay):
+    u = small_underlay
+    ids = u.host_ids()
+    d = u.one_way_delay(ids[0], ids[1])
+    assert d > 0
+    assert d == pytest.approx(u.latency_matrix[0, 1])
+
+
+def test_as_hops(small_underlay):
+    u = small_underlay
+    ids = u.host_ids()
+    h = u.as_hops(ids[0], ids[1])
+    assert h >= 0
+
+
+def test_message_bus_wiring(small_underlay):
+    u = small_underlay
+    sim = Simulation()
+    bus, acct = u.message_bus(sim)
+    got = []
+    ids = u.host_ids()
+    bus.register(ids[1], got.append)
+    bus.send(ids[0], ids[1], "X", size_bytes=123)
+    sim.run()
+    assert len(got) == 1
+    assert acct.summary.total_bytes == 123
+
+
+def test_message_bus_without_accounting(small_underlay):
+    sim = Simulation()
+    bus, acct = small_underlay.message_bus(sim, with_accounting=False)
+    assert acct is None
+    assert bus is not None
+
+
+def test_duplicate_host_ids_rejected(small_underlay):
+    u = small_underlay
+    with pytest.raises(TopologyError):
+        Underlay(u.topology, [u.hosts[0], u.hosts[0]])

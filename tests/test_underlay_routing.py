@@ -1,0 +1,116 @@
+"""Unit tests for valley-free routing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.underlay import (
+    ASRouting,
+    AutonomousSystem,
+    LinkType,
+    Position,
+    Tier,
+    InternetTopology,
+    TopologyConfig,
+    generate_topology,
+)
+
+
+@pytest.fixture(scope="module")
+def routed():
+    topo = generate_topology(TopologyConfig(seed=9))
+    return topo, ASRouting(topo)
+
+
+def _is_valley_free(topo, path):
+    """Check the up*/peer?/down* structure of a path."""
+    phase = "up"
+    for a, b in zip(path, path[1:]):
+        asys = topo.asys(a)
+        if b in asys.providers:
+            step = "up"
+        elif b in asys.peers:
+            step = "peer"
+        elif b in asys.customers:
+            step = "down"
+        else:
+            return False
+        if phase == "up":
+            phase = step
+        elif phase == "peer":
+            if step != "down":
+                return False
+            phase = "down"
+        elif phase == "down" and step != "down":
+            return False
+    return True
+
+
+def test_all_stub_pairs_routable_and_valley_free(routed):
+    topo, routing = routed
+    stubs = topo.stub_asns()
+    for a in stubs[:8]:
+        for b in stubs[-8:]:
+            path = routing.path(a, b)
+            assert path[0] == a and path[-1] == b
+            assert _is_valley_free(topo, path), path
+
+
+def test_same_as_path(routed):
+    _topo, routing = routed
+    assert routing.path(3, 3) == [3]
+    assert routing.hops(3, 3) == 0
+
+
+def test_hops_equals_path_length(routed):
+    topo, routing = routed
+    stubs = topo.stub_asns()
+    for a, b in zip(stubs[:5], stubs[5:10]):
+        assert routing.hops(a, b) == len(routing.path(a, b)) - 1
+
+
+def test_path_links_classification(routed):
+    topo, routing = routed
+    stubs = topo.stub_asns()
+    links = routing.path_links(stubs[0], stubs[-1])
+    for a, b, link_type in links:
+        assert topo.link_type(a, b) is link_type
+
+
+def test_hop_matrix_symmetric_nonnegative(routed):
+    _topo, routing = routed
+    mat = routing.hop_matrix()
+    assert (mat >= 0).all()
+    assert (mat == mat.T).all()
+    assert (np.diag(mat) == 0).all()
+
+
+def test_direct_neighbors_one_hop(routed):
+    topo, routing = routed
+    p, c = topo.transit_links()[0]
+    assert routing.hops(p, c) == 1
+    a, b = topo.peering_links()[0]
+    assert routing.hops(a, b) == 1
+
+
+def test_unroutable_raises():
+    # two isolated... cannot build disconnected InternetTopology (validated),
+    # so test peer-only 3-chain: A-peer-B-peer-C has no valley-free A->C
+    a = AutonomousSystem(0, Tier.TIER1, Position(0, 0))
+    b = AutonomousSystem(1, Tier.TIER1, Position(1, 0))
+    c = AutonomousSystem(2, Tier.TIER1, Position(2, 0))
+    a.peers.add(1); b.peers.update({0, 2}); c.peers.add(1)
+    topo = InternetTopology([a, b, c])
+    routing = ASRouting(topo)
+    assert routing.hops(0, 1) == 1
+    with pytest.raises(RoutingError):
+        routing.path(0, 2)
+
+
+def test_deterministic_paths(routed):
+    topo, _ = routed
+    r1 = ASRouting(topo)
+    r2 = ASRouting(topo)
+    stubs = topo.stub_asns()
+    for a, b in zip(stubs[:6], reversed(stubs[:6])):
+        assert r1.path(a, b) == r2.path(a, b)

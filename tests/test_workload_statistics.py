@@ -1,0 +1,54 @@
+"""Statistical sanity of the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import CatalogConfig, ContentCatalog
+
+
+def test_zipf_head_drawn_more_than_tail():
+    cat = ContentCatalog(
+        CatalogConfig(n_files=100, zipf_exponent=1.0, locality_bias=0.0), rng=1
+    )
+    draws = [cat.draw_query(asn=0) for _ in range(3000)]
+    counts = np.bincount(draws, minlength=100)
+    head = counts[:10].sum()
+    tail = counts[90:].sum()
+    assert head > 4 * tail
+
+
+def test_zero_exponent_is_uniformish():
+    cat = ContentCatalog(
+        CatalogConfig(n_files=50, zipf_exponent=0.0, locality_bias=0.0), rng=2
+    )
+    draws = [cat.draw_query(asn=0) for _ in range(5000)]
+    counts = np.bincount(draws, minlength=50)
+    # no file dominates under a flat distribution
+    assert counts.max() < 3.5 * counts.mean()
+
+
+def test_as_slices_are_deterministic_and_differ():
+    cat = ContentCatalog(CatalogConfig(n_files=200, topic_slice=0.1), rng=3)
+    s1a = set(int(f) for f in cat._as_slice(1))
+    s1b = set(int(f) for f in cat._as_slice(1))
+    s2 = set(int(f) for f in cat._as_slice(2))
+    assert s1a == s1b
+    assert s1a != s2
+    assert len(s1a) == 20
+
+
+def test_locality_bias_one_never_leaves_slice():
+    cat = ContentCatalog(
+        CatalogConfig(n_files=100, locality_bias=1.0, topic_slice=0.2), rng=4
+    )
+    slice7 = set(int(f) for f in cat._as_slice(7))
+    for _ in range(200):
+        assert cat.draw_query(7) in slice7
+
+
+def test_shared_content_respects_per_host_count(small_underlay):
+    cat = ContentCatalog(CatalogConfig(n_files=500), rng=5)
+    assignment = cat.assign_shared_content(small_underlay.hosts, files_per_host=9)
+    for files in assignment.values():
+        assert len(files) == 9
+        assert len(set(files)) == 9
