@@ -6,19 +6,24 @@ Usage::
     python -m repro run FIG2 FIG4a
     python -m repro run all
     python -m repro run FIG5 --arg n_hosts=200 --arg seed=7
+    python -m repro run FIG5 --trace
 
 Each experiment prints the same rows its benchmark asserts on; ``--arg``
 forwards keyword overrides (ints/floats parsed automatically).
+``--trace`` runs the experiment with the observability layer on and
+prints the metrics snapshot (JSON) and the trace digest after the table.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Any, Callable
 
 from repro.experiments import (
     print_table,
+    run_observed,
     run_fig1,
     run_fig2,
     run_fig3,
@@ -92,6 +97,11 @@ def main(argv: list[str] | None = None) -> int:
         metavar="KEY=VALUE",
         help="keyword override forwarded to each experiment",
     )
+    runp.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect metrics + a trace while running; print the snapshot",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -113,10 +123,16 @@ def main(argv: list[str] | None = None) -> int:
     for exp_id in ids:
         fn, _desc = EXPERIMENTS[exp_id]
         try:
-            result = fn(**overrides) if overrides else fn()
+            if args.trace:
+                result = run_observed(fn, **overrides)
+            else:
+                result = fn(**overrides) if overrides else fn()
         except TypeError as exc:
             raise SystemExit(f"{exp_id}: bad --arg for {fn.__name__}: {exc}")
         print_table(result)
+        if result.metrics is not None:
+            print(f"\n--- {exp_id} observability snapshot ---")
+            print(json.dumps(result.metrics, indent=2, sort_keys=True))
     return 0
 
 

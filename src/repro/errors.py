@@ -39,6 +39,11 @@ class CollectionError(ReproError):
     an unknown subject."""
 
 
+class ObservabilityError(ReproError):
+    """A metric or tracer was declared or used inconsistently (duplicate
+    registration with a different type, bad label set, invalid name)."""
+
+
 class CoordinateError(ReproError):
     """A network coordinate system was given invalid input (e.g. a
     non-square distance matrix, negative delays)."""

@@ -15,8 +15,11 @@
 
 from repro.experiments.common import (
     ExperimentResult,
+    metrics_snapshot,
+    observability,
     print_table,
     repeat_over_seeds,
+    run_observed,
 )
 from repro.experiments.fig1_hierarchy import run_fig1
 from repro.experiments.fig2_costs import run_fig2, run_locality_savings
@@ -44,6 +47,8 @@ __all__ = [
     "ExperimentResult",
     "TESTLAB_TOPOLOGIES",
     "build_testlab_underlay",
+    "metrics_snapshot",
+    "observability",
     "print_table",
     "repeat_over_seeds",
     "run_fig1",
@@ -57,6 +62,7 @@ __all__ = [
     "run_framework_composite",
     "run_isp_bill",
     "run_locality_savings",
+    "run_observed",
     "run_table1",
     "run_table2",
     "run_testlab",

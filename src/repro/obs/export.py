@@ -1,0 +1,97 @@
+"""Render a :class:`~repro.obs.registry.MetricRegistry` for humans and tools.
+
+Three formats:
+
+- :func:`registry_to_dict` — plain nested dicts (snapshot-friendly, what
+  experiments attach to their results);
+- :func:`to_json` — the same, serialised;
+- :func:`to_prometheus_text` — the Prometheus text exposition format
+  (``# HELP``/``# TYPE`` plus one sample line per cell), so a snapshot
+  can be diffed with standard tooling or scraped from a file.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricRegistry
+
+
+def _label_key(metric, key: tuple) -> str:
+    if not metric.labelnames:
+        return ""
+    return ",".join(f"{n}={v}" for n, v in zip(metric.labelnames, key))
+
+
+def registry_to_dict(registry: MetricRegistry) -> dict[str, Any]:
+    """Snapshot every metric into plain dicts (JSON-safe)."""
+    out: dict[str, Any] = {}
+    for metric in registry:
+        entry: dict[str, Any] = {"type": metric.kind, "help": metric.help}
+        if isinstance(metric, (Counter, Gauge)):
+            entry["values"] = {
+                _label_key(metric, k): v for k, v in sorted(metric.cells().items())
+            }
+        elif isinstance(metric, Histogram):
+            values = {}
+            for key, cell in sorted(metric.cells().items()):
+                values[_label_key(metric, key)] = {
+                    "count": cell.count,
+                    "sum": cell.sum,
+                    "min": None if not cell.count else cell.min,
+                    "max": None if not cell.count else cell.max,
+                    "buckets": {
+                        ("+Inf" if math.isinf(b) else repr(b)): c
+                        for b, c in zip(
+                            list(metric.buckets) + [math.inf], cell.counts
+                        )
+                    },
+                }
+            entry["values"] = values
+        out[metric.name] = entry
+    return out
+
+
+def to_json(registry: MetricRegistry, *, indent: int | None = 2) -> str:
+    return json.dumps(registry_to_dict(registry), indent=indent, sort_keys=True)
+
+
+def _fmt_labels(metric, key: tuple, extra: str = "") -> str:
+    pairs = [f'{n}="{v}"' for n, v in zip(metric.labelnames, key)]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _fmt_value(v: float) -> str:
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    return repr(v) if isinstance(v, float) and not v.is_integer() else str(int(v))
+
+
+def to_prometheus_text(registry: MetricRegistry) -> str:
+    """Prometheus text exposition of the whole registry."""
+    lines: list[str] = []
+    for metric in registry:
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            for key, v in sorted(metric.cells().items()):
+                lines.append(f"{metric.name}{_fmt_labels(metric, key)} {_fmt_value(v)}")
+        elif isinstance(metric, Histogram):
+            for key, cell in sorted(metric.cells().items()):
+                cum = 0
+                for bound, n in zip(
+                    list(metric.buckets) + [math.inf], cell.counts
+                ):
+                    cum += n
+                    le = "+Inf" if math.isinf(bound) else _fmt_value(bound)
+                    labels = _fmt_labels(metric, key, f'le="{le}"')
+                    lines.append(f"{metric.name}_bucket{labels} {cum}")
+                base = _fmt_labels(metric, key)
+                lines.append(f"{metric.name}_sum{base} {repr(cell.sum)}")
+                lines.append(f"{metric.name}_count{base} {cell.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,371 @@
+"""Metric primitives and the registry that owns them.
+
+Three metric types, deliberately mirroring the Prometheus data model so
+exports (:mod:`repro.obs.export`) are mechanical:
+
+- :class:`Counter` — monotonically increasing totals (messages sent,
+  probes issued).  Counters support :meth:`Counter.merge`, which is
+  associative and commutative, so per-shard registries can be combined.
+- :class:`Gauge` — point-in-time values (pending events, swarm size).
+- :class:`Histogram` — fixed-bucket distributions (lookup hops, RTTs)
+  with streaming quantile estimates: quantiles are interpolated from the
+  bucket counts in O(buckets) memory, clamped to the observed min/max.
+
+Every metric is keyed by name plus a tuple of label *values* (the label
+*names* are declared once at creation).  A process-global default
+registry backs ad-hoc use; tests reset it via
+:func:`reset_default_registry`.
+
+Naming convention (see ``docs/observability.md``): lowercase snake_case,
+``<component>_<quantity>_<unit-or-total>``, e.g.
+``gnutella_messages_sent_total``, ``kademlia_lookup_hops``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Iterator, Mapping, Optional, Sequence
+
+from repro.errors import ObservabilityError
+
+_NAME_RE = re.compile(r"^[a-z_][a-z0-9_]*$")
+
+#: Default histogram buckets: generic log-ish scale that covers hop
+#: counts (low end) and millisecond latencies (high end).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
+)
+
+
+def _validate_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ObservabilityError(
+            f"invalid metric name {name!r} (want lowercase snake_case)"
+        )
+    return name
+
+
+class Metric:
+    """Base class: a named family of label-keyed cells."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        self.name = _validate_name(name)
+        self.help = help
+        self.labelnames: tuple[str, ...] = tuple(labelnames)
+        for ln in self.labelnames:
+            if not _NAME_RE.match(ln):
+                raise ObservabilityError(f"invalid label name {ln!r}")
+
+    def _key(self, labels: Mapping[str, object]) -> tuple:
+        if set(labels) != set(self.labelnames):
+            raise ObservabilityError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[ln]) for ln in self.labelnames)
+
+    def clear(self) -> None:
+        """Drop all cells (registration survives)."""
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """Monotonically increasing per-label totals."""
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self._cells: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"{self.name}: counters only go up (amount={amount})"
+            )
+        key = self._key(labels)
+        self._cells[key] = self._cells.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._cells.get(self._key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over all label cells."""
+        return sum(self._cells.values())
+
+    def cells(self) -> dict[tuple, float]:
+        return dict(self._cells)
+
+    def merge(self, other: "Counter") -> "Counter":
+        """Cell-wise sum of two compatible counters (new counter).
+
+        Merge is associative and commutative, so counters collected in
+        independent registries (one per worker/shard) combine in any
+        order to the same result.
+        """
+        if not isinstance(other, Counter):
+            raise ObservabilityError("can only merge Counter with Counter")
+        if other.name != self.name or other.labelnames != self.labelnames:
+            raise ObservabilityError(
+                f"cannot merge {self.name}{self.labelnames} "
+                f"with {other.name}{other.labelnames}"
+            )
+        out = Counter(self.name, self.help, self.labelnames)
+        out._cells = dict(self._cells)
+        for key, v in other._cells.items():
+            out._cells[key] = out._cells.get(key, 0.0) + v
+        return out
+
+    def clear(self) -> None:
+        self._cells.clear()
+
+
+class Gauge(Metric):
+    """Set-to-current-value metric (can go up and down)."""
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self._cells: dict[tuple, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._cells[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        self._cells[key] = self._cells.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        return self._cells.get(self._key(labels), 0.0)
+
+    def cells(self) -> dict[tuple, float]:
+        return dict(self._cells)
+
+    def clear(self) -> None:
+        self._cells.clear()
+
+
+class _HistCell:
+    """State of one histogram label cell."""
+
+    __slots__ = ("counts", "count", "sum", "min", "max")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * (n_buckets + 1)  # +1 for the +Inf bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+
+class Histogram(Metric):
+    """Fixed-bucket histogram with streaming quantile estimates.
+
+    ``buckets`` are the inclusive upper bounds of the finite buckets
+    (strictly increasing); an implicit ``+Inf`` bucket catches the rest.
+    Quantiles are estimated by linear interpolation inside the bucket the
+    rank falls in, clamped to the observed ``[min, max]`` — monotone in
+    ``q`` and exact at ``q=0``/``q=1``.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ObservabilityError(f"{name}: need at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ObservabilityError(
+                f"{name}: bucket bounds must be strictly increasing: {bounds}"
+            )
+        self.buckets = bounds
+        self._cells: dict[tuple, _HistCell] = {}
+
+    def _cell(self, labels: Mapping[str, object]) -> _HistCell:
+        key = self._key(labels)
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = self._cells[key] = _HistCell(len(self.buckets))
+        return cell
+
+    def observe(self, value: float, **labels: object) -> None:
+        value = float(value)
+        if math.isnan(value):
+            raise ObservabilityError(f"{self.name}: cannot observe NaN")
+        cell = self._cell(labels)
+        idx = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                idx = i
+                break
+        cell.counts[idx] += 1
+        cell.count += 1
+        cell.sum += value
+        cell.min = min(cell.min, value)
+        cell.max = max(cell.max, value)
+
+    # -- accessors ------------------------------------------------------------
+    def count(self, **labels: object) -> int:
+        cell = self._cells.get(self._key(labels))
+        return cell.count if cell else 0
+
+    def sum(self, **labels: object) -> float:
+        cell = self._cells.get(self._key(labels))
+        return cell.sum if cell else 0.0
+
+    def min_observed(self, **labels: object) -> float:
+        cell = self._cells.get(self._key(labels))
+        return cell.min if cell and cell.count else math.nan
+
+    def max_observed(self, **labels: object) -> float:
+        cell = self._cells.get(self._key(labels))
+        return cell.max if cell and cell.count else math.nan
+
+    def bucket_counts(self, **labels: object) -> dict[float, int]:
+        """Per-bucket (non-cumulative) counts keyed by upper bound,
+        including the ``+Inf`` bucket; values sum to the observation
+        count."""
+        cell = self._cells.get(self._key(labels))
+        counts = cell.counts if cell else [0] * (len(self.buckets) + 1)
+        out = {bound: counts[i] for i, bound in enumerate(self.buckets)}
+        out[math.inf] = counts[len(self.buckets)]
+        return out
+
+    def mean(self, **labels: object) -> float:
+        cell = self._cells.get(self._key(labels))
+        if not cell or not cell.count:
+            return math.nan
+        return cell.sum / cell.count
+
+    def quantile(self, q: float, **labels: object) -> float:
+        """Streaming quantile estimate from the bucket counts."""
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile q must be in [0, 1], got {q}")
+        cell = self._cells.get(self._key(labels))
+        if not cell or not cell.count:
+            return math.nan
+        rank = q * cell.count
+        if rank <= 0:
+            return cell.min
+        cum = 0.0
+        for i, n in enumerate(cell.counts):
+            if n == 0:
+                continue
+            if cum + n >= rank:
+                lo = self.buckets[i - 1] if i > 0 else cell.min
+                hi = self.buckets[i] if i < len(self.buckets) else cell.max
+                frac = (rank - cum) / n
+                # frac == 1.0 must return hi exactly: lo + 1.0*(hi-lo)
+                # can land one ulp off and break q=1 -> max
+                est = hi if frac >= 1.0 else lo + frac * (hi - lo)
+                return min(max(est, cell.min), cell.max)
+            cum += n
+        return cell.max
+
+    def cells(self) -> dict[tuple, _HistCell]:
+        return dict(self._cells)
+
+    def clear(self) -> None:
+        self._cells.clear()
+
+
+class MetricRegistry:
+    """Get-or-create store of metrics, keyed by name.
+
+    Re-requesting an existing name returns the same object if the type
+    and label names agree, and raises :class:`ObservabilityError`
+    otherwise (two components silently sharing a mistyped metric is the
+    classic observability bug).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.labelnames != tuple(labelnames):
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}{existing.labelnames}"
+                )
+            return existing
+        metric = cls(name, help, labelnames, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(sorted(self._metrics.values(), key=lambda m: m.name))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def reset(self) -> None:
+        """Zero every metric's cells, keeping registrations."""
+        for metric in self._metrics.values():
+            metric.clear()
+
+    def clear(self) -> None:
+        """Drop every registration (a fresh registry)."""
+        self._metrics.clear()
+
+
+#: Process-global default registry, for ad-hoc instrumentation.
+_DEFAULT_REGISTRY = MetricRegistry()
+
+
+def default_registry() -> MetricRegistry:
+    """The process-global registry."""
+    return _DEFAULT_REGISTRY
+
+
+def reset_default_registry() -> None:
+    """Drop everything in the process-global registry (test isolation)."""
+    _DEFAULT_REGISTRY.clear()

@@ -1,0 +1,175 @@
+"""Structured trace events, the ring-buffered tracer, and trace digests.
+
+A :class:`TraceEvent` is a ``(time, component, kind, attrs)`` record.
+:class:`Tracer` keeps the most recent events in a bounded ring buffer,
+fans each event out to subscriber hooks, and maintains a *running*
+digest — a SHA-256 over the canonical form of every event ever emitted
+(not just those still in the ring).  Two runs of a deterministic
+simulation produce the same digest iff they emitted the same event
+stream, which is what the golden-trace regression tests assert.
+
+Determinism convention: attribute keys starting with ``_`` are
+*volatile* (wall-clock timings, object ids) and are excluded from the
+canonical form, so ``tracer.span(...)`` and the engine's per-callback
+timing can record real elapsed time without breaking digest stability.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time as _time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional
+
+#: Attribute-key prefix marking values excluded from the digest.
+VOLATILE_PREFIX = "_"
+
+
+def _canon(value: Any) -> str:
+    """Deterministic rendering of an attribute value.
+
+    Scalars render via ``repr`` (stable for str/int/float/bool/None);
+    sequences recurse; anything else falls back to its type name so a
+    stray object with a default ``repr`` (memory address!) can never
+    leak nondeterminism into the digest.
+    """
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return repr(value)
+    if isinstance(value, (tuple, list)):
+        return "[" + ",".join(_canon(v) for v in value) + "]"
+    if isinstance(value, (set, frozenset)):
+        return "{" + ",".join(sorted(_canon(v) for v in value)) + "}"
+    return f"<{type(value).__name__}>"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured event: when, who, what, and free-form attributes."""
+
+    time: float
+    component: str
+    kind: str
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    def canonical(self) -> str:
+        """Digest line: deterministic fields only, attrs in sorted order."""
+        parts = [repr(self.time), self.component, self.kind]
+        for key in sorted(self.attrs):
+            if key.startswith(VOLATILE_PREFIX):
+                continue
+            parts.append(f"{key}={_canon(self.attrs[key])}")
+        return "|".join(parts)
+
+
+def trace_digest(events: Iterable[TraceEvent]) -> str:
+    """SHA-256 hex digest of an event sequence (offline variant of
+    :meth:`Tracer.digest`, e.g. for a filtered or replayed stream)."""
+    h = hashlib.sha256()
+    for ev in events:
+        h.update(ev.canonical().encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+class Tracer:
+    """Bounded event recorder with subscriber hooks and a running digest.
+
+    Parameters
+    ----------
+    capacity:
+        Ring-buffer size; older events are evicted but stay part of the
+        running digest and the ``emitted`` count.
+    clock:
+        Optional time source used when ``emit`` is not given an explicit
+        ``time`` (a :class:`~repro.sim.engine.Simulation` passes its own
+        clock explicitly).  Without one, the event index is used, which
+        keeps untimed traces deterministic.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"tracer capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.clock = clock
+        self._ring: deque[TraceEvent] = deque(maxlen=capacity)
+        self._subscribers: list[Callable[[TraceEvent], None]] = []
+        self._hash = hashlib.sha256()
+        self.emitted = 0
+
+    # -- emission -------------------------------------------------------------
+    def emit(
+        self,
+        component: str,
+        kind: str,
+        /,
+        *,
+        time: Optional[float] = None,
+        **attrs: Any,
+    ) -> TraceEvent:
+        """Record one event; returns it (mostly for tests).
+
+        ``component`` and ``kind`` are positional-only so attribute keys
+        may reuse those names (e.g. a bus message's ``kind=...``).
+        """
+        if time is None:
+            time = self.clock() if self.clock is not None else float(self.emitted)
+        event = TraceEvent(float(time), component, kind, attrs)
+        self._ring.append(event)
+        self.emitted += 1
+        self._hash.update(event.canonical().encode())
+        self._hash.update(b"\n")
+        for sub in self._subscribers:
+            sub(event)
+        return event
+
+    @contextmanager
+    def span(self, name: str, component: str = "span", **attrs: Any) -> Iterator[None]:
+        """Time a block: ``begin``/``end`` events with wall-clock elapsed
+        seconds in the volatile ``_elapsed_s`` attribute."""
+        self.emit(component, "span_begin", name=name, **attrs)
+        t0 = _time.perf_counter()
+        try:
+            yield
+        finally:
+            self.emit(
+                component,
+                "span_end",
+                name=name,
+                _elapsed_s=_time.perf_counter() - t0,
+                **attrs,
+            )
+
+    # -- subscribers ----------------------------------------------------------
+    def subscribe(self, hook: Callable[[TraceEvent], None]) -> None:
+        """Call ``hook(event)`` on every subsequent emit."""
+        self._subscribers.append(hook)
+
+    def unsubscribe(self, hook: Callable[[TraceEvent], None]) -> None:
+        self._subscribers.remove(hook)
+
+    # -- inspection -----------------------------------------------------------
+    def events(self) -> list[TraceEvent]:
+        """The events still in the ring (oldest first)."""
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._ring)
+
+    def digest(self) -> str:
+        """Running SHA-256 over every event emitted so far."""
+        return self._hash.copy().hexdigest()
+
+    def clear(self) -> None:
+        """Forget all events and restart the digest."""
+        self._ring.clear()
+        self._hash = hashlib.sha256()
+        self.emitted = 0

@@ -13,6 +13,8 @@ from collections import Counter
 from typing import Any, Optional
 
 from repro.errors import OverlayError
+from repro.obs.registry import Counter as MetricCounter
+from repro.obs.registry import MetricRegistry
 from repro.sim.engine import Simulation
 from repro.sim.messages import Message, MessageBus
 from repro.underlay.hosts import Host
@@ -21,6 +23,12 @@ from repro.underlay.hosts import Host
 class OverlayNode:
     """Base class: bus registration + handler dispatch + counters."""
 
+    #: Registry-backed counters, shared by all nodes of one instrumented
+    #: network (class default ``None`` keeps the uninstrumented hot path
+    #: to a single attribute check).
+    _sent_metric: Optional[MetricCounter] = None
+    _received_metric: Optional[MetricCounter] = None
+
     def __init__(self, host: Host, sim: Simulation, bus: MessageBus) -> None:
         self.host = host
         self.sim = sim
@@ -28,6 +36,20 @@ class OverlayNode:
         self.online = False
         self.sent_counts: Counter[str] = Counter()
         self.received_counts: Counter[str] = Counter()
+
+    def instrument(self, registry: MetricRegistry, component: str) -> None:
+        """Mirror this node's per-kind send/receive counts into
+        ``<component>_messages_{sent,received}_total`` in ``registry``."""
+        self._sent_metric = registry.counter(
+            f"{component}_messages_sent_total",
+            f"{component} protocol messages sent, by kind.",
+            ("kind",),
+        )
+        self._received_metric = registry.counter(
+            f"{component}_messages_received_total",
+            f"{component} protocol messages received, by kind.",
+            ("kind",),
+        )
 
     @property
     def host_id(self) -> int:
@@ -59,12 +81,16 @@ class OverlayNode:
                 f"node {self.host_id} tried to send {kind} while offline"
             )
         self.sent_counts[kind] += 1
+        if self._sent_metric is not None:
+            self._sent_metric.inc(kind=kind)
         self.bus.send(self.host_id, dst, kind, payload, size_bytes)
 
     def _dispatch(self, msg: Message) -> None:
         if not self.online:
             return
         self.received_counts[msg.kind] += 1
+        if self._received_metric is not None:
+            self._received_metric.inc(kind=msg.kind)
         handler = getattr(self, f"on_{msg.kind.lower()}", None)
         if handler is None:
             self.on_unhandled(msg)

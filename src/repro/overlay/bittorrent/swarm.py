@@ -24,6 +24,8 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.errors import OverlayError
+from repro.obs import active_registry
+from repro.obs.registry import MetricRegistry
 from repro.overlay.bittorrent.peer import SwarmConfig, SwarmPeer
 from repro.overlay.bittorrent.torrent import Torrent
 from repro.overlay.bittorrent.tracker import Tracker
@@ -87,6 +89,34 @@ class SwarmSimulation:
         self.transit_bytes = 0.0
         #: transit bytes charged to each paying AS
         self.paid_transit: dict[int, float] = {}
+        self._bytes_ctr = None
+        self._announce_ctr = None
+        self._pieces_ctr = None
+        self._dltime_hist = None
+        registry = active_registry()
+        if registry is not None:
+            self.instrument(registry)
+
+    def instrument(self, registry: MetricRegistry) -> None:
+        """Count tracker announces, transferred bytes by traffic class,
+        and completed pieces; histogram leecher download times."""
+        self._announce_ctr = registry.counter(
+            "bittorrent_messages_sent_total",
+            "BitTorrent control messages sent, by kind.",
+            ("kind",),
+        )
+        self._bytes_ctr = registry.counter(
+            "bittorrent_bytes_total",
+            "Payload bytes transferred, by underlay traffic class.",
+            ("traffic_class",),
+        )
+        self._pieces_ctr = registry.counter(
+            "bittorrent_pieces_completed_total", "Pieces fully downloaded."
+        )
+        self._dltime_hist = registry.histogram(
+            "bittorrent_download_time_s",
+            "Per-leecher time to complete the torrent (simulated seconds).",
+        )
 
     # -- population -------------------------------------------------------------
     def add_peer(self, host_id: int, *, is_seed: bool = False) -> SwarmPeer:
@@ -99,6 +129,8 @@ class SwarmSimulation:
         )
         peer.join_time = self.time_s
         self.peers[host_id] = peer
+        if self._announce_ctr is not None:
+            self._announce_ctr.inc(kind="TRACKER_ANNOUNCE")
         peer_list = self.tracker.announce(host_id)
         peer.neighbors.update(peer_list)
         # connections are bidirectional
@@ -121,6 +153,8 @@ class SwarmSimulation:
     def _account(self, src_asn: int, dst_asn: int, nbytes: float) -> None:
         if src_asn == dst_asn:
             self.intra_as_bytes += nbytes
+            if self._bytes_ctr is not None:
+                self._bytes_ctr.inc(nbytes, traffic_class="intra_as")
             return
         crossed_transit = False
         for a, b, link_type in self.underlay.routing.path_links(src_asn, dst_asn):
@@ -132,6 +166,11 @@ class SwarmSimulation:
             self.transit_bytes += nbytes
         else:
             self.peering_bytes += nbytes
+        if self._bytes_ctr is not None:
+            self._bytes_ctr.inc(
+                nbytes,
+                traffic_class="transit" if crossed_transit else "peering",
+            )
 
     # -- core loop ----------------------------------------------------------------------
     def _availability(self) -> np.ndarray:
@@ -197,8 +236,14 @@ class SwarmSimulation:
                     progress -= piece_size
                     dl.bitfield.add(piece)
                     availability[piece] += 1
+                    if self._pieces_ctr is not None:
+                        self._pieces_ctr.inc()
                     if dl.complete:
                         dl.finish_time = self.time_s + dt
+                        if self._dltime_hist is not None:
+                            self._dltime_hist.observe(
+                                dl.finish_time - dl.join_time
+                            )
                         piece = None
                         break
                     in_flight = {

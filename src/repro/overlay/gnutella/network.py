@@ -26,6 +26,8 @@ import numpy as np
 
 from repro.collection.oracle import ISPOracle
 from repro.errors import OverlayError
+from repro.obs import active_registry
+from repro.obs.registry import Histogram, MetricRegistry
 from repro.overlay.gnutella.node import (
     LEAF,
     ULTRAPEER,
@@ -90,12 +92,33 @@ class GnutellaNetwork:
         self.nodes: dict[int, GnutellaNode] = {}
         self._guid_counter = 0
         self.searches: dict[int, SearchRecord] = {}
+        #: set by :meth:`instrument`; nodes observe answered-query hop
+        #: counts here (``None`` keeps the hot path uninstrumented)
+        self.query_hops_hist: Optional[Histogram] = None
+        self._registry: Optional[MetricRegistry] = None
+        registry = active_registry()
+        if registry is not None:
+            self.instrument(registry)
+
+    def instrument(self, registry: MetricRegistry) -> None:
+        """Count messages by kind and record query-hop histograms into
+        ``registry`` (applies to current and future nodes)."""
+        self._registry = registry
+        self.query_hops_hist = registry.histogram(
+            "gnutella_query_hops",
+            "Overlay hops a QUERY travelled before being answered.",
+            buckets=tuple(range(0, 12)),
+        )
+        for node in self.nodes.values():
+            node.instrument(registry, "gnutella")
 
     # -- population ------------------------------------------------------------
     def add_node(self, host: Host, role: str) -> GnutellaNode:
         if host.host_id in self.nodes:
             raise OverlayError(f"host {host.host_id} already in network")
         node = GnutellaNode(host, self.sim, self.bus, self, role, self.config)
+        if self._registry is not None:
+            node.instrument(self._registry, "gnutella")
         self.nodes[host.host_id] = node
         node.go_online()
         return node

@@ -287,6 +287,9 @@ class GnutellaNode(OverlayNode):
             responders.append(self.host_id)
         # and on behalf of leaves
         responders.extend(sorted(self.leaf_index.get(query.keyword, ())))
+        hops_hist = self.network.query_hops_hist
+        if hops_hist is not None and responders:
+            hops_hist.observe(self.config.query_ttl - query.ttl)
         for responder in responders:
             hit = QueryHit(guid=query.guid, responder=responder, keyword=query.keyword)
             self._route_hit(hit, via=from_peer)

@@ -8,6 +8,8 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.errors import OverlayError
+from repro.obs import active_registry
+from repro.obs.registry import MetricRegistry
 from repro.overlay.kademlia.id_space import key_for, random_id
 from repro.overlay.kademlia.kbucket import Contact
 from repro.overlay.kademlia.node import KademliaConfig, KademliaNode, LookupResult
@@ -66,6 +68,7 @@ class KademliaNetwork:
         self.config = config or KademliaConfig()
         self._rng = ensure_rng(rng)
         self.nodes: dict[int, KademliaNode] = {}
+        self._registry: Optional[MetricRegistry] = active_registry()
         # When a proximity technique is on, nodes estimate the RTT of
         # heard-of contacts from network coordinates (§3.2 prediction);
         # modelled as the true RTT with multiplicative coordinate error.
@@ -80,6 +83,13 @@ class KademliaNetwork:
 
             self._estimator = estimator
 
+    def instrument(self, registry: MetricRegistry) -> None:
+        """Count RPCs by kind and record lookup hop/latency histograms
+        into ``registry`` (applies to current and future nodes)."""
+        self._registry = registry
+        for node in self.nodes.values():
+            node.instrument(registry, "kademlia")
+
     def add_all_hosts(self) -> None:
         self.add_hosts(self.underlay.hosts)
 
@@ -90,6 +100,8 @@ class KademliaNetwork:
                 h, self.sim, self.bus, random_id(self._rng), self.config,
                 rtt_estimator=self._estimator,
             )
+            if self._registry is not None:
+                node.instrument(self._registry, "kademlia")
             node.go_online()
             self.nodes[h.host_id] = node
 

@@ -16,6 +16,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Optional, Protocol
 
 from repro.errors import SimulationError
+from repro.obs import active_registry, active_tracer
+from repro.obs.registry import Counter, MetricRegistry
+from repro.obs.tracing import Tracer
 from repro.sim.engine import Simulation
 
 
@@ -95,6 +98,39 @@ class MessageBus:
             __import__("numpy").random.default_rng(loss_seed) if loss_rate else None
         )
         self.stats = BusStats()
+        self._sent_ctr: Optional[Counter] = None
+        self._bytes_ctr: Optional[Counter] = None
+        self._delivered_ctr: Optional[Counter] = None
+        self._dropped_ctr: Optional[Counter] = None
+        self._tracer: Optional[Tracer] = None
+        registry, tracer = active_registry(), active_tracer()
+        if registry is not None or tracer is not None:
+            self.instrument(registry, tracer)
+
+    def instrument(
+        self,
+        registry: Optional[MetricRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        """Start recording per-kind counters into ``registry`` and/or
+        send/deliver/drop trace events into ``tracer``."""
+        if registry is not None:
+            self._sent_ctr = registry.counter(
+                "bus_messages_sent_total", "Messages sent, by kind.", ("kind",)
+            )
+            self._bytes_ctr = registry.counter(
+                "bus_bytes_sent_total", "Payload bytes sent, by kind.", ("kind",)
+            )
+            self._delivered_ctr = registry.counter(
+                "bus_messages_delivered_total", "Messages delivered, by kind.",
+                ("kind",),
+            )
+            self._dropped_ctr = registry.counter(
+                "bus_messages_dropped_total", "Messages dropped, by reason.",
+                ("reason",),
+            )
+        if tracer is not None:
+            self._tracer = tracer
 
     def register(self, endpoint: Hashable, handler: Callable[[Message], None]) -> None:
         """Attach ``handler`` to ``endpoint``; replaces any previous handler."""
@@ -128,8 +164,23 @@ class MessageBus:
         self.stats.by_kind[kind] = self.stats.by_kind.get(kind, 0) + 1
         for obs in self._observers:
             obs.observe(src, dst, size_bytes, kind)
+        if self._sent_ctr is not None:
+            self._sent_ctr.inc(kind=kind)
+            self._bytes_ctr.inc(size_bytes, kind=kind)
+        if self._tracer is not None:
+            self._tracer.emit(
+                "bus", "send", time=self._sim.now,
+                src=src, dst=dst, kind=kind, size=size_bytes,
+            )
         if self._loss_rng is not None and self._loss_rng.random() < self.loss_rate:
             self.stats.dropped_loss += 1
+            if self._dropped_ctr is not None:
+                self._dropped_ctr.inc(reason="loss")
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "bus", "drop", time=self._sim.now,
+                    src=src, dst=dst, kind=kind, reason="loss",
+                )
             return msg
         self._sim.schedule(delay, self._deliver, msg)
         return msg
@@ -138,6 +189,15 @@ class MessageBus:
         handler = self._handlers.get(msg.dst)
         if handler is None:
             self.stats.dropped_no_handler += 1
+            if self._dropped_ctr is not None:
+                self._dropped_ctr.inc(reason="no_handler")
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "bus", "drop", time=self._sim.now,
+                    src=msg.src, dst=msg.dst, kind=msg.kind, reason="no_handler",
+                )
             return
         self.stats.delivered += 1
+        if self._delivered_ctr is not None:
+            self._delivered_ctr.inc(kind=msg.kind)
         handler(msg)

@@ -1,0 +1,183 @@
+"""Unit tests for repro.obs: registry, metric types, exports."""
+
+import json
+import math
+
+import pytest
+
+from repro import obs
+from repro.errors import ObservabilityError
+from repro.obs import Counter, Gauge, Histogram, MetricRegistry
+
+
+# -- counters ------------------------------------------------------------------
+
+
+def test_counter_basics():
+    c = Counter("msgs_total", labelnames=("kind",))
+    c.inc(kind="PING")
+    c.inc(2, kind="PING")
+    c.inc(5, kind="PONG")
+    assert c.value(kind="PING") == 3
+    assert c.value(kind="PONG") == 5
+    assert c.value(kind="QUERY") == 0
+    assert c.total() == 8
+
+
+def test_counter_rejects_negative_and_bad_labels():
+    c = Counter("msgs_total", labelnames=("kind",))
+    with pytest.raises(ObservabilityError):
+        c.inc(-1, kind="PING")
+    with pytest.raises(ObservabilityError):
+        c.inc(1)  # missing label
+    with pytest.raises(ObservabilityError):
+        c.inc(1, kind="PING", extra="x")
+
+
+def test_counter_merge_requires_compatibility():
+    a = Counter("a_total")
+    b = Counter("b_total")
+    with pytest.raises(ObservabilityError):
+        a.merge(b)
+
+
+def test_invalid_metric_names_rejected():
+    for bad in ("Total", "1abc", "with-dash", "with space", ""):
+        with pytest.raises(ObservabilityError):
+            Counter(bad)
+
+
+# -- gauges --------------------------------------------------------------------
+
+
+def test_gauge_set_inc_dec():
+    g = Gauge("pending")
+    g.set(10)
+    g.inc(5)
+    g.dec(3)
+    assert g.value() == 12
+
+
+# -- histograms ----------------------------------------------------------------
+
+
+def test_histogram_buckets_and_stats():
+    h = Histogram("hops", buckets=(1, 2, 4, 8))
+    for v in (0, 1, 1, 3, 5, 100):
+        h.observe(v)
+    counts = h.bucket_counts()
+    assert counts[1.0] == 3  # 0, 1, 1
+    assert counts[2.0] == 0
+    assert counts[4.0] == 1  # 3
+    assert counts[8.0] == 1  # 5
+    assert counts[math.inf] == 1  # 100
+    assert h.count() == 6
+    assert h.sum() == 110
+    assert h.min_observed() == 0
+    assert h.max_observed() == 100
+    assert h.mean() == pytest.approx(110 / 6)
+
+
+def test_histogram_quantiles_reasonable():
+    h = Histogram("lat", buckets=(10, 20, 50, 100))
+    for v in range(1, 101):  # 1..100 uniform
+        h.observe(v)
+    assert h.quantile(0.0) == 1
+    assert h.quantile(1.0) == 100
+    assert h.quantile(0.5) == pytest.approx(50, abs=15)
+    assert h.quantile(0.9) == pytest.approx(90, abs=15)
+
+
+def test_histogram_rejects_bad_buckets_and_nan():
+    with pytest.raises(ObservabilityError):
+        Histogram("h", buckets=())
+    with pytest.raises(ObservabilityError):
+        Histogram("h", buckets=(1, 1, 2))
+    h = Histogram("h", buckets=(1,))
+    with pytest.raises(ObservabilityError):
+        h.observe(float("nan"))
+    with pytest.raises(ObservabilityError):
+        h.quantile(1.5)
+
+
+# -- registry ------------------------------------------------------------------
+
+
+def test_registry_get_or_create_returns_same_object():
+    reg = MetricRegistry()
+    a = reg.counter("x_total", labelnames=("kind",))
+    b = reg.counter("x_total", labelnames=("kind",))
+    assert a is b
+    assert len(reg) == 1
+
+
+def test_registry_rejects_type_or_label_mismatch():
+    reg = MetricRegistry()
+    reg.counter("x_total")
+    with pytest.raises(ObservabilityError):
+        reg.gauge("x_total")
+    with pytest.raises(ObservabilityError):
+        reg.counter("x_total", labelnames=("kind",))
+
+
+def test_registry_reset_keeps_registrations():
+    reg = MetricRegistry()
+    c = reg.counter("x_total")
+    c.inc(5)
+    reg.reset()
+    assert reg.counter("x_total") is c
+    assert c.total() == 0
+
+
+def test_default_registry_reset():
+    obs.reset_default_registry()
+    obs.default_registry().counter("y_total").inc()
+    assert obs.default_registry().get("y_total").total() == 1
+    obs.reset_default_registry()
+    assert obs.default_registry().get("y_total") is None
+
+
+# -- exports -------------------------------------------------------------------
+
+
+def _sample_registry() -> MetricRegistry:
+    reg = MetricRegistry()
+    reg.counter("msgs_total", "messages", ("kind",)).inc(3, kind="PING")
+    reg.gauge("pending").set(7)
+    h = reg.histogram("hops", "hop counts", buckets=(1, 2, 4))
+    h.observe(1)
+    h.observe(3)
+    return reg
+
+
+def test_registry_to_dict_and_json_roundtrip():
+    reg = _sample_registry()
+    snap = obs.registry_to_dict(reg)
+    assert snap["msgs_total"]["values"]["kind=PING"] == 3
+    assert snap["pending"]["values"][""] == 7
+    hist = snap["hops"]["values"][""]
+    assert hist["count"] == 2
+    assert hist["buckets"]["+Inf"] == 0
+    # JSON-safe end to end
+    assert json.loads(obs.to_json(reg))["hops"]["values"][""]["sum"] == 4
+
+
+def test_prometheus_text_format():
+    text = obs.to_prometheus_text(_sample_registry())
+    assert '# TYPE msgs_total counter' in text
+    assert 'msgs_total{kind="PING"} 3' in text
+    assert "pending 7" in text
+    assert 'hops_bucket{le="+Inf"} 2' in text  # cumulative
+    assert "hops_count 2" in text
+
+
+def test_observe_scope_activates_and_deactivates():
+    assert obs.active_registry() is None
+    with obs.observe() as session:
+        assert obs.active_registry() is session.registry
+        assert obs.active_tracer() is session.tracer
+        with obs.observe() as inner:  # nesting: innermost wins
+            assert obs.active_registry() is inner.registry
+        assert obs.active_registry() is session.registry
+    assert obs.active_registry() is None
+    assert obs.active_tracer() is None

@@ -1,0 +1,108 @@
+"""Property tests for the metrics primitives (hypothesis).
+
+Invariants:
+
+- histogram bucket counts always sum to the observation count, whatever
+  the bucket layout;
+- quantile estimates are monotone in q and bounded by the observed
+  min/max;
+- counter merge is associative and commutative (so per-shard registries
+  combine order-independently).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Counter, Histogram
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+bucket_bounds = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=12,
+    unique=True,
+).map(sorted)
+
+
+@given(values=st.lists(finite_floats, max_size=200), bounds=bucket_bounds)
+def test_bucket_counts_sum_to_observation_count(values, bounds):
+    hist = Histogram("h_test", buckets=bounds)
+    for v in values:
+        hist.observe(v)
+    counts = hist.bucket_counts()
+    assert sum(counts.values()) == len(values) == hist.count()
+
+
+@given(
+    values=st.lists(finite_floats, min_size=1, max_size=200),
+    qs=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=20),
+    bounds=bucket_bounds,
+)
+def test_quantiles_monotone_and_bounded(values, qs, bounds):
+    hist = Histogram("h_test", buckets=bounds)
+    for v in values:
+        hist.observe(v)
+    lo, hi = min(values), max(values)
+    estimates = [hist.quantile(q) for q in sorted(qs)]
+    for est in estimates:
+        assert lo <= est <= hi
+    for a, b in zip(estimates, estimates[1:]):
+        assert a <= b
+    assert hist.quantile(0.0) == lo
+    assert hist.quantile(1.0) == hi
+
+
+def test_quantile_of_empty_histogram_is_nan():
+    hist = Histogram("h_test")
+    assert math.isnan(hist.quantile(0.5))
+
+
+label_values = st.sampled_from(["a", "b", "c", "d"])
+increments = st.lists(
+    st.tuples(label_values, st.floats(min_value=0, max_value=1e6, allow_nan=False)),
+    max_size=50,
+)
+
+
+def _counter(incs) -> Counter:
+    c = Counter("c_test", labelnames=("kind",))
+    for label, amount in incs:
+        c.inc(amount, kind=label)
+    return c
+
+
+def _close(a: Counter, b: Counter) -> bool:
+    cells_a, cells_b = a.cells(), b.cells()
+    if set(cells_a) != set(cells_b):
+        return False
+    return all(math.isclose(cells_a[k], cells_b[k]) for k in cells_a)
+
+
+@settings(max_examples=50)
+@given(x=increments, y=increments)
+def test_counter_merge_commutative(x, y):
+    a, b = _counter(x), _counter(y)
+    assert _close(a.merge(b), b.merge(a))
+
+
+@settings(max_examples=50)
+@given(x=increments, y=increments, z=increments)
+def test_counter_merge_associative(x, y, z):
+    a, b, c = _counter(x), _counter(y), _counter(z)
+    assert _close(a.merge(b).merge(c), a.merge(b.merge(c)))
+
+
+@settings(max_examples=50)
+@given(x=increments)
+def test_counter_merge_identity(x):
+    a = _counter(x)
+    empty = Counter("c_test", labelnames=("kind",))
+    assert _close(a.merge(empty), a)
+    assert _close(empty.merge(a), a)

@@ -119,3 +119,58 @@ def test_events_processed_counter():
         sim.schedule(float(i), lambda: None)
     sim.run()
     assert sim.events_processed == 5
+
+
+# -- edge cases around cancellation and the processed counter ------------------
+
+
+def test_cancel_after_fire_is_harmless_noop():
+    sim = Simulation()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    assert handle.fired
+    # cancelling an already-fired event does nothing and reports failure
+    assert handle.cancel() is False
+    assert handle.cancelled is False
+    assert sim.events_processed == 1
+    sim.run()  # still harmless with an empty queue
+    assert fired == ["x"]
+
+
+def test_cancel_is_idempotent_and_reports_first_win():
+    sim = Simulation()
+    handle = sim.schedule(1.0, lambda: None)
+    assert handle.cancel() is True
+    assert handle.cancel() is False  # second cancel is a no-op
+    assert handle.cancelled
+    sim.run()
+    assert sim.events_processed == 0
+
+
+def test_schedule_before_now_rejected_mid_run():
+    sim = Simulation()
+    errors = []
+
+    def bad():
+        try:
+            sim.schedule_at(sim.now - 1.0, lambda: None)
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(5.0, bad)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_events_processed_excludes_cancelled_events():
+    sim = Simulation()
+    handles = [sim.schedule(float(i), lambda: None) for i in range(10)]
+    for h in handles[::2]:
+        h.cancel()
+    sim.run()
+    assert sim.events_processed == 5
+    # cancelled handles never flip to fired
+    assert all(not h.fired for h in handles[::2])
+    assert all(h.fired for h in handles[1::2])
