@@ -1,0 +1,52 @@
+"""CI guard: fail when substrate generation regresses by >3x.
+
+Times ``Underlay.generate(UnderlayConfig())`` (best of N runs) and
+compares it against the loose floor recorded in ``substrate_floor.json``.
+The 3x headroom means only a real complexity regression trips it —
+normal machine-to-machine noise does not.
+
+Usage:  PYTHONPATH=src python benchmarks/check_substrate_floor.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.underlay import Underlay, UnderlayConfig
+
+HERE = pathlib.Path(__file__).resolve().parent
+REGRESSION_FACTOR = 3.0
+REPEATS = 7
+
+
+def main() -> int:
+    floor_ms = json.loads(
+        (HERE / "substrate_floor.json").read_text()
+    )["underlay_generate_default_ms"]
+
+    Underlay.generate(UnderlayConfig())  # warm caches/imports
+    best = min(
+        _timed(lambda: Underlay.generate(UnderlayConfig()))
+        for _ in range(REPEATS)
+    )
+    best_ms = best * 1e3
+    limit_ms = REGRESSION_FACTOR * floor_ms
+    verdict = "OK" if best_ms <= limit_ms else "REGRESSION"
+    print(
+        f"Underlay.generate(default): {best_ms:.2f} ms "
+        f"(floor {floor_ms:.2f} ms, limit {limit_ms:.2f} ms) -> {verdict}"
+    )
+    return 0 if best_ms <= limit_ms else 1
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

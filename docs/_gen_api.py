@@ -19,6 +19,9 @@ def main() -> None:
     print("# API reference (generated)\n")
     print("One line per public item, from the live docstrings. Regenerate with")
     print("`python docs/_gen_api.py > docs/api.md`.\n")
+    print("Performance notes for the underlay substrate (fast kernels, lazy")
+    print("matrices, the substrate cache) live in")
+    print("[docs/performance.md](performance.md).\n")
     seen = set()
     for modinfo in sorted(
         pkgutil.walk_packages(repro.__path__, prefix="repro."),

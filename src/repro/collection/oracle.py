@@ -149,8 +149,16 @@ class ISPOracle(InfoSource):
     def same_as_candidates(
         self, querying_host: int, candidates: Sequence[int]
     ) -> list[int]:
-        """Only the candidates inside the querier's own AS (order kept)."""
+        """Only the candidates inside the querier's own AS (order kept).
+
+        Uses the underlay's precomputed ``asn -> host`` index, so the
+        filter is one set lookup per candidate regardless of population
+        size."""
         my_asn = self.underlay.asn_of(querying_host)
+        local_ids = self.underlay.host_ids_in_as(my_asn)
         self.overhead.charge(queries=1, messages=2,
                              bytes_on_wire=64 + 8 * len(list(candidates)))
-        return [c for c in candidates if self.underlay.asn_of(c) == my_asn]
+        return [
+            c for c in candidates
+            if self.underlay._host_id_of(c) in local_ids
+        ]

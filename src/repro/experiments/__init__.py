@@ -15,6 +15,7 @@
 
 from repro.experiments.common import (
     ExperimentResult,
+    generate_underlay,
     metrics_snapshot,
     observability,
     print_table,
@@ -47,6 +48,7 @@ __all__ = [
     "ExperimentResult",
     "TESTLAB_TOPOLOGIES",
     "build_testlab_underlay",
+    "generate_underlay",
     "metrics_snapshot",
     "observability",
     "print_table",

@@ -31,7 +31,8 @@ from repro.coords import (
     evaluate_embedding,
 )
 from repro.experiments.common import ExperimentResult
-from repro.underlay.network import Underlay, UnderlayConfig
+from repro.experiments.common import generate_underlay
+from repro.underlay.network import UnderlayConfig
 
 
 def run_fig4_examples() -> ExperimentResult:
@@ -84,7 +85,7 @@ def run_fig4_embedding(
     n_hosts: int = 60, n_beacons: int = 12, seed: int = 33
 ) -> ExperimentResult:
     """Compare latency-prediction systems on a generated underlay."""
-    underlay = Underlay.generate(UnderlayConfig(n_hosts=n_hosts, seed=seed))
+    underlay = generate_underlay(UnderlayConfig(n_hosts=n_hosts, seed=seed))
     rtt = underlay.rtt_matrix()
     result = ExperimentResult(
         "FIG4b", "Latency prediction: ICS vs Vivaldi vs GNP"
@@ -135,7 +136,7 @@ def run_fig4_dimension_sweep(
     and the paper's cumulative-variation rule (with a high threshold)
     lands on the plateau without manual tuning.
     """
-    underlay = Underlay.generate(UnderlayConfig(n_hosts=n_hosts, seed=seed))
+    underlay = generate_underlay(UnderlayConfig(n_hosts=n_hosts, seed=seed))
     rtt = underlay.rtt_matrix()
     beacon_idx = np.arange(n_beacons)
     beacons = rtt[np.ix_(beacon_idx, beacon_idx)]

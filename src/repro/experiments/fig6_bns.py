@@ -16,6 +16,7 @@ from repro.metrics.locality import locality_summary
 from repro.metrics.resilience import resilience_summary
 from repro.overlay.gnutella import GnutellaConfig, GnutellaNetwork, NeighborPolicy
 from repro.sim.engine import Simulation
+from repro.experiments.common import generate_underlay
 from repro.underlay.network import Underlay, UnderlayConfig
 from repro.underlay.topology import TopologyConfig
 
@@ -52,7 +53,7 @@ def run_fig6(
 ) -> ExperimentResult:
     """``dot_path_prefix`` additionally renders the two Figure 6 panels
     as Graphviz files (``<prefix>_uniform.dot`` / ``<prefix>_biased.dot``)."""
-    underlay = Underlay.generate(
+    underlay = generate_underlay(
         UnderlayConfig(
             topology=TopologyConfig(n_tier1=3, n_tier2=6, n_stub=12, n_regions=4),
             n_hosts=n_hosts,

@@ -8,6 +8,14 @@ Quick path::
 """
 
 from repro.underlay.autonomous_system import AutonomousSystem, LinkType, Tier
+from repro.underlay.cache import (
+    SubstrateCache,
+    cached_generate,
+    configure_default_cache,
+    default_cache,
+    disable_default_cache,
+    substrate_digest,
+)
 from repro.underlay.cost import CostModel, CostParams
 from repro.underlay.geometry import Position, pairwise_distances
 from repro.underlay.hosts import ACCESS_CLASSES, Host, HostFactory, PeerResources
@@ -40,15 +48,21 @@ __all__ = [
     "MobilityTrace",
     "PeerResources",
     "Position",
+    "SubstrateCache",
     "Tier",
     "TopologyConfig",
     "TrafficAccountant",
     "TrafficSummary",
     "Underlay",
     "UnderlayConfig",
+    "cached_generate",
     "cached_info_accuracy",
+    "configure_default_cache",
+    "default_cache",
+    "disable_default_cache",
     "generate_mobility",
     "generate_topology",
     "pairwise_distances",
     "refresh_tradeoff",
+    "substrate_digest",
 ]

@@ -1,0 +1,198 @@
+"""Substrate cache: memoised :class:`Underlay` construction.
+
+Ablation suites rebuild the *same* synthetic Internet dozens of times —
+every arm of a sweep starts from ``Underlay.generate`` with an identical
+``(UnderlayConfig, seed)``.  :class:`SubstrateCache` keys generated
+underlays by a deterministic digest of the config and serves repeats from
+an in-process LRU; optionally it persists the expensive matrices (AS hop
+matrix, AS delay matrix, host latency matrix) as ``.npz`` files so even a
+fresh process skips the BFS and delay builds.
+
+Cached underlays are shared objects: treat them as immutable substrate
+(every simulation-facing object — buses, accountants, overlays — is built
+per experiment on top, so sharing the topology/latency state is safe).
+
+A process-wide default cache (off unless configured) lets the CLI
+(``--substrate-cache``) and the benchmark suite opt in without threading
+a cache handle through every experiment:
+
+    from repro.underlay.cache import configure_default_cache, cached_generate
+    configure_default_cache(disk_dir="~/.cache/repro-substrate")
+    underlay = cached_generate(UnderlayConfig(n_hosts=200, seed=42))
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import asdict
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.underlay._obs import note_cache_event, timed_build
+from repro.underlay.network import Underlay, UnderlayConfig
+
+_DIGEST_BITS = 16  # hex chars: 64 bits of SHA-256, plenty for a cache key
+
+
+def _canonical(obj: object) -> object:
+    """JSON-safe canonical form of a config value; rejects anything whose
+    repr is not deterministic across processes (e.g. a live RNG seed)."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    raise ConfigurationError(
+        f"config value {obj!r} is not digestable; substrate caching needs "
+        "scalar seeds (pass an int seed, not a Generator)"
+    )
+
+
+def substrate_digest(config: UnderlayConfig) -> str:
+    """Deterministic hex digest of an :class:`UnderlayConfig` (nested
+    dataclasses included) — the substrate cache key."""
+    payload = json.dumps(_canonical(asdict(config)), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:_DIGEST_BITS]
+
+
+class SubstrateCache:
+    """LRU of generated underlays keyed by ``substrate_digest(config)``.
+
+    ``maxsize`` bounds the in-process LRU.  When ``disk_dir`` is given,
+    the hop/delay/latency matrices of every generated underlay are stored
+    as ``substrate-<digest>.npz`` there and injected on later cold
+    generations (in this or any other process), so only the cheap
+    topology/host construction runs.
+    """
+
+    def __init__(
+        self, maxsize: int = 8, disk_dir: str | Path | None = None
+    ) -> None:
+        if maxsize < 1:
+            raise ConfigurationError("substrate cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.disk_dir = Path(disk_dir).expanduser() if disk_dir is not None else None
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+        self._lru: OrderedDict[str, Underlay] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # -- public API ---------------------------------------------------------
+    def get_or_generate(self, config: UnderlayConfig | None = None) -> Underlay:
+        """The memoised version of :meth:`Underlay.generate`."""
+        config = config or UnderlayConfig()
+        key = substrate_digest(config)
+        cached = self._lru.get(key)
+        if cached is not None:
+            self._lru.move_to_end(key)
+            self.hits += 1
+            note_cache_event("substrate_memory", "hit")
+            return cached
+        self.misses += 1
+        note_cache_event("substrate_memory", "miss")
+        underlay = self._generate(config, key)
+        self._lru[key] = underlay
+        while len(self._lru) > self.maxsize:
+            self._lru.popitem(last=False)
+        return underlay
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __contains__(self, config: UnderlayConfig) -> bool:
+        return substrate_digest(config) in self._lru
+
+    def clear(self) -> None:
+        """Drop the in-process LRU (disk entries are kept)."""
+        self._lru.clear()
+
+    # -- generation + disk tier ---------------------------------------------
+    def _npz_path(self, key: str) -> Path:
+        assert self.disk_dir is not None
+        return self.disk_dir / f"substrate-{key}.npz"
+
+    def _generate(self, config: UnderlayConfig, key: str) -> Underlay:
+        with timed_build("underlay_generate"):
+            underlay = Underlay.generate(config)
+        if self.disk_dir is None:
+            return underlay
+        warm = self._load_disk(key, underlay)
+        if warm:
+            note_cache_event("substrate_disk", "hit")
+        else:
+            note_cache_event("substrate_disk", "miss")
+            self._store_disk(key, underlay)
+            note_cache_event("substrate_disk", "store")
+        return underlay
+
+    def _load_disk(self, key: str, underlay: Underlay) -> bool:
+        """Inject matrices from a disk entry; False if absent/unusable."""
+        path = self._npz_path(key)
+        if not path.exists():
+            return False
+        try:
+            with np.load(path) as data:
+                as_hops = data["as_hops"]
+                as_delay = data["as_delay"]
+                host_latency = data["host_latency"]
+            underlay.routing.warm_hops(as_hops)
+            underlay.latency.warm_as_delay(as_delay)
+            underlay.warm_latency_matrix(host_latency)
+            return True
+        except Exception:
+            # corrupt or stale entry: fall back to a clean rebuild
+            return False
+
+    def _store_disk(self, key: str, underlay: Underlay) -> None:
+        underlay.precompute()
+        # temp name must keep the .npz suffix or np.savez appends one
+        tmp = self._npz_path(key).with_suffix(".tmp.npz")
+        np.savez(
+            tmp,
+            as_hops=underlay.routing.hop_matrix(),
+            as_delay=underlay.latency.as_delay,
+            host_latency=underlay.latency_matrix,
+        )
+        tmp.replace(self._npz_path(key))
+
+
+# -- process-wide default cache (opt-in) ------------------------------------
+_DEFAULT_CACHE: Optional[SubstrateCache] = None
+
+
+def configure_default_cache(
+    maxsize: int = 8, disk_dir: str | Path | None = None
+) -> SubstrateCache:
+    """Install (and return) the process-wide substrate cache used by
+    :func:`cached_generate` — the hook behind the CLI's
+    ``--substrate-cache`` flag and the benchmark suite's option."""
+    global _DEFAULT_CACHE
+    _DEFAULT_CACHE = SubstrateCache(maxsize=maxsize, disk_dir=disk_dir)
+    return _DEFAULT_CACHE
+
+
+def default_cache() -> Optional[SubstrateCache]:
+    """The installed process-wide cache, or ``None`` (caching off)."""
+    return _DEFAULT_CACHE
+
+
+def disable_default_cache() -> None:
+    """Remove the process-wide cache (generation goes direct again)."""
+    global _DEFAULT_CACHE
+    _DEFAULT_CACHE = None
+
+
+def cached_generate(config: UnderlayConfig | None = None) -> Underlay:
+    """``Underlay.generate`` through the default cache when one is
+    configured, else a plain uncached generation."""
+    cache = _DEFAULT_CACHE
+    if cache is None:
+        return Underlay.generate(config or UnderlayConfig())
+    return cache.get_or_generate(config)

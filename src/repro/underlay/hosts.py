@@ -13,14 +13,13 @@ that peers differ widely in capability.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError, TopologyError
 from repro.rng import SeedLike, ensure_rng
-from repro.underlay.autonomous_system import Tier
 from repro.underlay.geometry import Position, scatter_around
 from repro.underlay.topology import InternetTopology
 

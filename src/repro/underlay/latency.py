@@ -18,18 +18,22 @@ The per-pair jitter is drawn once per host pair from a seeded generator
 (symmetric, deterministic), giving the matrix mild triangle-inequality
 violations like real RTT datasets.
 
-All-pairs matrices are assembled with vectorised NumPy.
+The all-pairs AS delay matrix is accumulated *during* the routing BFS
+(:meth:`~repro.underlay.routing.ASRouting.delay_matrix`), not
+reconstructed path by path, and is built lazily on first use; see
+:meth:`LatencyModel.precompute` / :meth:`LatencyModel.invalidate` and
+``docs/performance.md`` for the caching rules.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.rng import SeedLike, ensure_rng
+from repro.underlay._obs import note_cache_event, timed_build
 from repro.underlay.geometry import pairwise_distances, positions_to_array
 from repro.underlay.hosts import Host
 from repro.underlay.routing import ASRouting
@@ -59,7 +63,13 @@ class LatencyConfig:
 
 
 class LatencyModel:
-    """Computes one-way delays and all-pairs latency matrices."""
+    """Computes one-way delays and all-pairs latency matrices.
+
+    The AS-pair delay matrix is built lazily on first use and cached;
+    :meth:`precompute` forces the build, :meth:`invalidate` drops it
+    (e.g. after swapping the routing tables), and :meth:`warm_as_delay`
+    injects a matrix loaded from a substrate cache.
+    """
 
     def __init__(
         self,
@@ -70,30 +80,55 @@ class LatencyModel:
         self.topology = topology
         self.routing = routing
         self.config = config or LatencyConfig()
-        self._as_delay = self._build_as_delay_matrix()
+        self._as_delay: Optional[np.ndarray] = None
 
     # -- AS-level -----------------------------------------------------------
+    @property
+    def as_delay(self) -> np.ndarray:
+        """AS-path delay matrix for every AS pair, built lazily once."""
+        if self._as_delay is None:
+            note_cache_event("as_delay", "miss")
+            with timed_build("as_delay"):
+                self._as_delay = self._build_as_delay_matrix()
+        else:
+            note_cache_event("as_delay", "hit")
+        return self._as_delay
+
+    def precompute(self) -> "LatencyModel":
+        """Force the lazy AS delay matrix to build now."""
+        self.as_delay
+        return self
+
+    def invalidate(self) -> None:
+        """Drop the cached AS delay matrix (rebuilt on next use)."""
+        self._as_delay = None
+
+    def warm_as_delay(self, matrix: np.ndarray) -> None:
+        """Inject a precomputed AS delay matrix (substrate cache load)."""
+        mat = np.asarray(matrix, dtype=np.float64)
+        n = self.topology.n_ases
+        if mat.shape != (n, n):
+            raise ConfigurationError(
+                f"AS delay matrix shape {mat.shape} does not match {n} ASes"
+            )
+        self._as_delay = mat
+
     def _build_as_delay_matrix(self) -> np.ndarray:
         """Delay contributed by the AS path for every AS pair (symmetric
-        up to routing asymmetry; we use the src->dst route)."""
-        n = self.topology.n_ases
+        up to routing asymmetry; we use the src->dst route).
+
+        The per-link and per-AS terms accumulate inside the routing BFS
+        itself — no per-pair path reconstruction.
+        """
         cfg = self.config
         pos = self.topology.positions_array()
         geo = pairwise_distances(pos)
-        mat = np.zeros((n, n), dtype=float)
-        for src in range(n):
-            for dst in range(n):
-                if src == dst:
-                    mat[src, dst] = cfg.intra_as_ms
-                    continue
-                path = self.routing.path(src, dst)
-                prop = 0.0
-                for a, b in zip(path, path[1:]):
-                    prop += geo[a, b] * cfg.propagation_ms_per_km
-                    prop += cfg.per_link_router_ms
-                # internal delay at every traversed AS
-                prop += cfg.intra_as_ms * len(path)
-                mat[src, dst] = prop
+        link_ms = geo * cfg.propagation_ms_per_km
+        mat = self.routing.delay_matrix(
+            link_ms,
+            per_link_router_ms=cfg.per_link_router_ms,
+            intra_as_ms=cfg.intra_as_ms,
+        )
         # Valley-free forward and reverse routes can differ slightly; the
         # delay a flow experiences is effectively the mean of both legs
         # (and the coordinate systems of §3.2 consume symmetric RTTs), so
@@ -102,7 +137,10 @@ class LatencyModel:
 
     def as_pair_delay(self, asn_a: int, asn_b: int) -> float:
         """AS-path delay component between two ASes (ms)."""
-        return float(self._as_delay[asn_a, asn_b])
+        mat = self._as_delay
+        if mat is None:
+            mat = self.as_delay
+        return float(mat[asn_a, asn_b])
 
     # -- host-level ----------------------------------------------------------
     def _pair_jitter_matrix(self, n: int) -> np.ndarray:
@@ -153,7 +191,7 @@ class LatencyModel:
         cfg = self.config
         access = np.array([h.access_latency_ms for h in hosts], dtype=float)
         asns = np.array([h.asn for h in hosts], dtype=np.int64)
-        base = access[:, None] + access[None, :] + self._as_delay[np.ix_(asns, asns)]
+        base = access[:, None] + access[None, :] + self.as_delay[np.ix_(asns, asns)]
         # metro propagation for same-AS pairs
         pos = positions_to_array([h.position for h in hosts])
         geo = pairwise_distances(pos)

@@ -20,7 +20,8 @@ from typing import Hashable, Optional, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError, TopologyError
-from repro.rng import SeedLike, ensure_rng, spawn
+from repro.rng import ensure_rng, spawn
+from repro.underlay._obs import note_cache_event, timed_build
 from repro.sim.engine import Simulation
 from repro.sim.messages import MessageBus
 from repro.underlay.cost import CostModel, CostParams
@@ -67,6 +68,16 @@ class Underlay:
         if len(self._host_by_id) != len(self.hosts):
             raise TopologyError("duplicate host ids in underlay")
         self._index_of = {h.host_id: i for i, h in enumerate(self.hosts)}
+        # asn -> hosts index: hosts_in_as and the oracle paths are called
+        # per candidate list, so a linear scan over all hosts is the wrong
+        # complexity class
+        self._hosts_by_as: dict[int, list[Host]] = {}
+        for h in self.hosts:
+            self._hosts_by_as.setdefault(h.asn, []).append(h)
+        self._host_ids_by_as: dict[int, frozenset[int]] = {
+            asn: frozenset(h.host_id for h in hs)
+            for asn, hs in self._hosts_by_as.items()
+        }
         self._latency_matrix: Optional[np.ndarray] = None
 
     # -- construction ----------------------------------------------------------
@@ -116,7 +127,12 @@ class Underlay:
         return [h.host_id for h in self.hosts]
 
     def hosts_in_as(self, asn: int) -> list[Host]:
-        return [h for h in self.hosts if h.asn == asn]
+        """Hosts attached to ``asn`` (O(1) via the asn index)."""
+        return list(self._hosts_by_as.get(asn, ()))
+
+    def host_ids_in_as(self, asn: int) -> frozenset[int]:
+        """Host-id set of one AS — membership tests for oracle ranking."""
+        return self._host_ids_by_as.get(asn, frozenset())
 
     def as_hops(self, host_a: int, host_b: int) -> int:
         """AS-hop distance between two hosts' ASes."""
@@ -127,17 +143,51 @@ class Underlay:
     def latency_matrix(self) -> np.ndarray:
         """All-pairs one-way host delay matrix (ms), computed lazily once."""
         if self._latency_matrix is None:
-            self._latency_matrix = self.latency.latency_matrix(self.hosts)
+            note_cache_event("host_latency", "miss")
+            with timed_build("host_latency"):
+                self._latency_matrix = self.latency.latency_matrix(self.hosts)
+        else:
+            note_cache_event("host_latency", "hit")
         return self._latency_matrix
+
+    def precompute(self) -> "Underlay":
+        """Force every lazy substrate matrix to build now: per-source BFS
+        trees, the AS delay matrix, and the host latency matrix."""
+        self.routing.precompute()
+        self.latency.precompute()
+        if self._latency_matrix is None:
+            note_cache_event("host_latency", "miss")
+            with timed_build("host_latency"):
+                self._latency_matrix = self.latency.latency_matrix(self.hosts)
+        return self
+
+    def invalidate(self) -> None:
+        """Drop every cached substrate matrix (rebuilt lazily on use)."""
+        self.routing.invalidate()
+        self.latency.invalidate()
+        self._latency_matrix = None
+
+    def warm_latency_matrix(self, matrix: np.ndarray) -> None:
+        """Inject a precomputed host latency matrix (substrate cache load)."""
+        mat = np.asarray(matrix, dtype=np.float64)
+        n = len(self.hosts)
+        if mat.shape != (n, n):
+            raise ConfigurationError(
+                f"latency matrix shape {mat.shape} does not match {n} hosts"
+            )
+        self._latency_matrix = mat
 
     def rtt_matrix(self) -> np.ndarray:
         return 2.0 * self.latency_matrix
 
     def one_way_delay(self, src: Hashable, dst: Hashable) -> float:
         """LatencyProvider protocol over host ids (ms)."""
+        mat = self._latency_matrix
+        if mat is None:  # build once; per-message lookups stay O(1) reads
+            mat = self.latency_matrix
         i = self._index_of[self._host_id_of(src)]
         j = self._index_of[self._host_id_of(dst)]
-        return float(self.latency_matrix[i, j])
+        return float(mat[i, j])
 
     def one_way_delay_hosts(self, a: Host, b: Host) -> float:
         return self.one_way_delay(a.host_id, b.host_id)

@@ -16,8 +16,7 @@ The result is an :class:`InternetTopology`: the AS objects plus a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from dataclasses import dataclass
 
 import networkx as nx
 import numpy as np

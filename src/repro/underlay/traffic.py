@@ -12,7 +12,7 @@ billing as described in the survey's §2.1.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Hashable, Optional
 
 from repro.underlay.autonomous_system import LinkType

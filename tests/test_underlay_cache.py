@@ -1,0 +1,194 @@
+"""Tests for the substrate cache (:mod:`repro.underlay.cache`)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.underlay import (
+    SubstrateCache,
+    Underlay,
+    UnderlayConfig,
+    cached_generate,
+    configure_default_cache,
+    default_cache,
+    disable_default_cache,
+    substrate_digest,
+)
+from repro.underlay._obs import CACHE_COUNTER
+from repro.underlay.topology import TopologyConfig
+
+SMALL = UnderlayConfig(n_hosts=30, seed=7)
+
+
+@pytest.fixture(autouse=True)
+def _no_default_cache():
+    """Never leak a process-wide cache between tests."""
+    disable_default_cache()
+    yield
+    disable_default_cache()
+
+
+# -- digest ------------------------------------------------------------------
+
+
+def test_digest_deterministic():
+    a = substrate_digest(UnderlayConfig(n_hosts=30, seed=7))
+    b = substrate_digest(UnderlayConfig(n_hosts=30, seed=7))
+    assert a == b
+    assert len(a) == 16
+    assert int(a, 16) >= 0  # valid hex
+
+
+def test_digest_sensitive_to_every_layer():
+    base = substrate_digest(SMALL)
+    assert substrate_digest(UnderlayConfig(n_hosts=31, seed=7)) != base
+    assert substrate_digest(UnderlayConfig(n_hosts=30, seed=8)) != base
+    assert (
+        substrate_digest(
+            UnderlayConfig(
+                n_hosts=30, seed=7, topology=TopologyConfig(n_stub=24)
+            )
+        )
+        != base
+    )
+
+
+def test_digest_rejects_non_scalar_seed():
+    cfg = dataclasses.replace(SMALL, seed=np.random.default_rng(0))
+    with pytest.raises(ConfigurationError, match="digestable"):
+        substrate_digest(cfg)
+
+
+# -- in-memory LRU -----------------------------------------------------------
+
+
+def test_memory_hit_returns_same_object():
+    cache = SubstrateCache(maxsize=2)
+    cold = cache.get_or_generate(SMALL)
+    warm = cache.get_or_generate(UnderlayConfig(n_hosts=30, seed=7))
+    assert warm is cold
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert SMALL in cache
+    assert len(cache) == 1
+
+
+def test_cached_underlay_matches_direct_generation():
+    cache = SubstrateCache()
+    cached = cache.get_or_generate(SMALL)
+    direct = Underlay.generate(SMALL)
+    assert np.array_equal(cached.latency_matrix, direct.latency_matrix)
+    assert np.array_equal(
+        cached.routing.hop_matrix(), direct.routing.hop_matrix()
+    )
+
+
+def test_lru_eviction():
+    cache = SubstrateCache(maxsize=2)
+    c1 = UnderlayConfig(n_hosts=10, seed=1)
+    c2 = UnderlayConfig(n_hosts=10, seed=2)
+    c3 = UnderlayConfig(n_hosts=10, seed=3)
+    cache.get_or_generate(c1)
+    cache.get_or_generate(c2)
+    cache.get_or_generate(c1)  # refresh c1: c2 is now LRU
+    cache.get_or_generate(c3)  # evicts c2
+    assert c1 in cache and c3 in cache and c2 not in cache
+    assert len(cache) == 2
+
+
+def test_clear_drops_entries():
+    cache = SubstrateCache()
+    cache.get_or_generate(SMALL)
+    cache.clear()
+    assert len(cache) == 0
+    assert SMALL not in cache
+
+
+def test_maxsize_validated():
+    with pytest.raises(ConfigurationError):
+        SubstrateCache(maxsize=0)
+
+
+# -- disk tier ---------------------------------------------------------------
+
+
+def test_disk_roundtrip_warm_start(tmp_path):
+    writer = SubstrateCache(disk_dir=tmp_path)
+    original = writer.get_or_generate(SMALL)
+    npz = list(tmp_path.glob("substrate-*.npz"))
+    assert len(npz) == 1
+    assert npz[0].name == f"substrate-{substrate_digest(SMALL)}.npz"
+
+    # a fresh cache (fresh process stand-in) warms from disk: the
+    # injected matrices are bit-identical and already materialised
+    reader = SubstrateCache(disk_dir=tmp_path)
+    warmed = reader.get_or_generate(SMALL)
+    assert warmed is not original
+    assert warmed.latency._as_delay is not None  # injected, not lazy
+    assert warmed._latency_matrix is not None
+    assert np.array_equal(warmed.latency_matrix, original.latency_matrix)
+    assert np.array_equal(
+        warmed.routing.hop_matrix(), original.routing.hop_matrix()
+    )
+    assert np.array_equal(
+        warmed.latency.as_delay, original.latency.as_delay
+    )
+
+
+def test_corrupt_disk_entry_falls_back_to_rebuild(tmp_path):
+    writer = SubstrateCache(disk_dir=tmp_path)
+    original = writer.get_or_generate(SMALL)
+    path = tmp_path / f"substrate-{substrate_digest(SMALL)}.npz"
+    path.write_bytes(b"not an npz")
+    reader = SubstrateCache(disk_dir=tmp_path)
+    rebuilt = reader.get_or_generate(SMALL)
+    assert np.array_equal(rebuilt.latency_matrix, original.latency_matrix)
+
+
+# -- observability -----------------------------------------------------------
+
+
+def test_cache_events_counted_in_observe_scope(tmp_path):
+    cache = SubstrateCache(disk_dir=tmp_path)
+    with obs.observe() as session:
+        cache.get_or_generate(SMALL)  # memory miss + disk miss + store
+        cache.get_or_generate(SMALL)  # memory hit
+        ctr = session.registry.counter(
+            CACHE_COUNTER, "", ("kind", "event")
+        )
+        assert ctr.value(kind="substrate_memory", event="miss") == 1
+        assert ctr.value(kind="substrate_memory", event="hit") == 1
+        assert ctr.value(kind="substrate_disk", event="store") == 1
+
+
+def test_cache_is_silent_outside_observe_scope():
+    # no active registry: events are dropped, nothing raises
+    cache = SubstrateCache()
+    cache.get_or_generate(SMALL)
+    cache.get_or_generate(SMALL)
+    assert cache.hits == 1
+
+
+# -- process-wide default cache ----------------------------------------------
+
+
+def test_cached_generate_without_default_cache_is_direct():
+    assert default_cache() is None
+    a = cached_generate(SMALL)
+    b = cached_generate(SMALL)
+    assert a is not b  # no cache configured: distinct objects
+
+
+def test_cached_generate_through_default_cache():
+    cache = configure_default_cache(maxsize=4)
+    assert default_cache() is cache
+    a = cached_generate(SMALL)
+    b = cached_generate(SMALL)
+    assert a is b
+    assert cache.hits == 1
+    disable_default_cache()
+    assert default_cache() is None
