@@ -21,7 +21,8 @@ def main() -> None:
     print("`python docs/_gen_api.py > docs/api.md`.\n")
     print("Performance notes for the underlay substrate (fast kernels, lazy")
     print("matrices, the substrate cache) live in")
-    print("[docs/performance.md](performance.md).\n")
+    print("[docs/performance.md](performance.md); the fault-injection model")
+    print("and retry semantics in [docs/faults.md](faults.md).\n")
     seen = set()
     for modinfo in sorted(
         pkgutil.walk_packages(repro.__path__, prefix="repro."),

@@ -39,6 +39,7 @@ from repro.experiments import (
     run_framework_composite,
     run_isp_bill,
     run_locality_savings,
+    run_resilience_faults,
     run_table1,
     run_table2,
     run_testlab,
@@ -60,6 +61,9 @@ EXPERIMENTS: dict[str, tuple[Callable[..., Any], str]] = {
     "FRAMEWORK": (run_framework_composite,
                   "composite QoS profiles vs single-information selection"),
     "ISPBILL": (run_isp_bill, "per-ISP transit bills under an overlay workload"),
+    "RESILIENCE": (run_resilience_faults,
+                   "lookup success & stretch under injected faults (slow; "
+                   "--arg smoke=true for the CI-sized run)"),
 }
 
 

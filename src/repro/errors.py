@@ -44,6 +44,11 @@ class ObservabilityError(ReproError):
     registration with a different type, bad label set, invalid name)."""
 
 
+class FaultError(ReproError):
+    """A fault schedule or injector was configured inconsistently (bad
+    window, unknown fault kind, AS-scoped fault without an AS resolver)."""
+
+
 class CoordinateError(ReproError):
     """A network coordinate system was given invalid input (e.g. a
     non-square distance matrix, negative delays)."""

@@ -11,6 +11,10 @@
 | TESTLAB | 45-node 5-AS controlled experiments     | testlab                |
 | TAB1    | catalogue of underlay-aware systems     | table1_systems         |
 | TAB2    | impact matrix                           | table2_impact          |
+
+Beyond the paper's artefacts, ``resilience_faults`` (id RESILIENCE)
+answers its §5.4 open question with the fault-injection subsystem:
+lookup success and stretch under loss, partition, and crash scenarios.
 """
 
 from repro.experiments.common import (
@@ -34,6 +38,7 @@ from repro.experiments.fig5_gnutella_oracle import run_fig5
 from repro.experiments.fig6_bns import run_fig6
 from repro.experiments.framework_composite import run_framework_composite
 from repro.experiments.isp_bill import run_isp_bill
+from repro.experiments.resilience_faults import run_resilience_faults
 from repro.experiments.table1_systems import run_table1
 from repro.experiments.table2_impact import run_table2
 from repro.experiments.testlab import (
@@ -65,6 +70,7 @@ __all__ = [
     "run_isp_bill",
     "run_locality_savings",
     "run_observed",
+    "run_resilience_faults",
     "run_table1",
     "run_table2",
     "run_testlab",

@@ -1,0 +1,252 @@
+"""Deterministic fault injection driven by the simulation clock.
+
+:class:`FaultInjector` turns a :class:`~repro.faults.schedule.FaultSchedule`
+into scheduled activation/deactivation events and interposes on the
+:class:`~repro.sim.messages.MessageBus` (via its fault hook) and, for
+crashes, on a :class:`~repro.sim.churn.ChurnProcess` — protocols are never
+modified and never know faults exist.
+
+Zero-cost when idle: an empty schedule schedules no events, installs no
+bus hook, and draws no random numbers, so an experiment with an attached
+idle injector is bit-for-bit identical (golden-trace digest included) to
+one without it.
+
+Determinism: the injector owns its own seeded RNG, used only when a loss
+fault with ``rate < 1`` is active for a matching message, so two runs of
+the same seeded scenario inject exactly the same faults.
+
+Usage::
+
+    schedule = FaultSchedule.from_dict(spec)
+    injector = FaultInjector(
+        sim, bus, schedule,
+        asn_of=underlay.asn_of,
+        on_crash=lambda hid: net.nodes[hid].go_offline(),
+    )
+    injector.start()
+    sim.run(...)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Hashable, Optional
+
+from repro.errors import FaultError
+from repro.faults.schedule import (
+    CrashFault,
+    DelayFault,
+    FaultSchedule,
+    LossFault,
+    PartitionFault,
+)
+from repro.obs import active_registry, active_tracer
+from repro.obs.registry import Counter, MetricRegistry
+from repro.obs.tracing import Tracer
+from repro.rng import SeedLike, ensure_rng
+from repro.sim.churn import ChurnProcess
+from repro.sim.engine import Simulation
+from repro.sim.messages import MessageBus
+
+
+@dataclass
+class InjectorStats:
+    """What the injector actually did during the run."""
+
+    activations: int = 0
+    deactivations: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    messages_dropped: int = 0
+    messages_delayed: int = 0
+
+
+def _fault_kind(fault: object) -> str:
+    if isinstance(fault, LossFault):
+        return "loss"
+    if isinstance(fault, DelayFault):
+        return "delay"
+    if isinstance(fault, PartitionFault):
+        return "partition"
+    return "crash"
+
+
+class FaultInjector:
+    """Applies a fault schedule to one simulation's bus and peer set.
+
+    Parameters
+    ----------
+    sim, bus:
+        The simulation clock and the message bus to interpose on.
+    schedule:
+        The faults to inject.  An empty schedule makes :meth:`start` a
+        complete no-op.
+    asn_of:
+        Endpoint -> ASN resolver (e.g. ``underlay.asn_of``).  Required
+        when the schedule contains AS-scoped or partition faults.
+    churn:
+        Optional :class:`ChurnProcess`; crashed peers are silenced in it
+        (their pending join/leave cancelled) and revived on recovery.
+    on_crash / on_recover:
+        Callbacks invoked with each crashed/recovered peer id — typically
+        ``node.go_offline`` / a rejoin.  When no callback is given the
+        peer's bus endpoint is unregistered on crash, mirroring a process
+        that vanished mid-conversation.
+    seed:
+        Seed for the injector's private loss RNG.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        bus: MessageBus,
+        schedule: FaultSchedule,
+        *,
+        asn_of: Optional[Callable[[Hashable], int]] = None,
+        churn: Optional[ChurnProcess] = None,
+        on_crash: Optional[Callable[[int], None]] = None,
+        on_recover: Optional[Callable[[int], None]] = None,
+        seed: SeedLike = 0,
+    ) -> None:
+        if schedule.needs_asn and asn_of is None:
+            raise FaultError(
+                "schedule contains AS-scoped faults but no asn_of resolver "
+                "was provided"
+            )
+        self.sim = sim
+        self.bus = bus
+        self.schedule = schedule
+        self.asn_of = asn_of
+        self.churn = churn
+        self.on_crash = on_crash
+        self.on_recover = on_recover
+        self._rng = ensure_rng(seed)
+        self._active: list = []  # message faults currently in their window
+        self._started = False
+        self.stats = InjectorStats()
+        self._injected_ctr: Optional[Counter] = None
+        self._tracer: Optional[Tracer] = None
+        registry, tracer = active_registry(), active_tracer()
+        if registry is not None or tracer is not None:
+            self.instrument(registry, tracer)
+
+    def instrument(
+        self,
+        registry: Optional[MetricRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        """Count injected faults by kind and emit fault trace events."""
+        if registry is not None:
+            self._injected_ctr = registry.counter(
+                "faults_injected_total",
+                "Faults activated by the injector, by kind.",
+                ("kind",),
+            )
+        if tracer is not None:
+            self._tracer = tracer
+
+    # -- lifecycle --------------------------------------------------------------
+    @property
+    def active_faults(self) -> tuple:
+        """Message faults currently inside their window."""
+        return tuple(self._active)
+
+    def start(self) -> None:
+        """Schedule every fault's activation; a no-op for an empty schedule."""
+        if self._started:
+            raise FaultError("injector already started")
+        self._started = True
+        message_faults = self.schedule.message_faults
+        if message_faults:
+            self.bus.set_fault_hook(self._bus_fault)
+            for fault in message_faults:
+                self.sim.schedule_at(
+                    max(fault.start, self.sim.now), self._activate, fault
+                )
+        for fault in self.schedule.crash_faults:
+            self.sim.schedule_at(max(fault.at, self.sim.now), self._crash, fault)
+
+    # -- windowed message faults ---------------------------------------------------
+    def _activate(self, fault) -> None:
+        self._active.append(fault)
+        self.stats.activations += 1
+        kind = _fault_kind(fault)
+        if self._injected_ctr is not None:
+            self._injected_ctr.inc(kind=kind)
+        if self._tracer is not None:
+            self._tracer.emit(
+                "fault", "activate", time=self.sim.now,
+                kind=kind, start=fault.start, end=fault.end,
+            )
+        self.sim.schedule_at(
+            max(fault.end, self.sim.now), self._deactivate, fault
+        )
+
+    def _deactivate(self, fault) -> None:
+        self._active.remove(fault)
+        self.stats.deactivations += 1
+        if self._tracer is not None:
+            self._tracer.emit(
+                "fault", "deactivate", time=self.sim.now, kind=_fault_kind(fault),
+            )
+
+    def _bus_fault(self, src: Hashable, dst: Hashable, kind: str) -> float:
+        """The bus hook: extra delay for this message, or inf to drop it."""
+        if not self._active:
+            return 0.0
+        src_asn = dst_asn = None
+        if self.asn_of is not None:
+            src_asn = self.asn_of(src)
+            dst_asn = self.asn_of(dst)
+        extra = 0.0
+        keep = 1.0
+        for fault in self._active:
+            if isinstance(fault, PartitionFault):
+                if fault.separates(src_asn, dst_asn):
+                    self.stats.messages_dropped += 1
+                    return math.inf
+            elif fault.matches(src, dst, src_asn, dst_asn):
+                if isinstance(fault, LossFault):
+                    keep *= 1.0 - fault.rate
+                else:
+                    extra += fault.extra_ms
+        if keep < 1.0 and (keep == 0.0 or self._rng.random() >= keep):
+            self.stats.messages_dropped += 1
+            return math.inf
+        if extra:
+            self.stats.messages_delayed += 1
+        return extra
+
+    # -- crashes -------------------------------------------------------------------
+    def _crash(self, fault: CrashFault) -> None:
+        self.stats.crashes += len(fault.peers)
+        if self._injected_ctr is not None:
+            self._injected_ctr.inc(len(fault.peers), kind="crash")
+        for peer in fault.peers:
+            if self.churn is not None:
+                self.churn.crash(peer)
+            if self.on_crash is not None:
+                self.on_crash(peer)
+            else:
+                self.bus.unregister(peer)
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "fault", "crash", time=self.sim.now, peer=peer,
+                )
+        if fault.recover_at is not None:
+            self.sim.schedule_at(
+                max(fault.recover_at, self.sim.now), self._recover, fault
+            )
+
+    def _recover(self, fault: CrashFault) -> None:
+        self.stats.recoveries += len(fault.peers)
+        for peer in fault.peers:
+            if self.churn is not None:
+                self.churn.revive(peer)
+            if self.on_recover is not None:
+                self.on_recover(peer)
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "fault", "recover", time=self.sim.now, peer=peer,
+                )

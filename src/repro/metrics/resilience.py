@@ -11,7 +11,10 @@ exactly that:
 - ``partition_risk`` — probability that removing ``f`` random nodes
   disconnects at least one AS cluster from the rest;
 - ``cut_vulnerability`` — how many node removals suffice to disconnect
-  the overlay (greedy approximation via articulation points).
+  the overlay (greedy approximation via articulation points);
+- ``stretch_summary`` — achieved lookup latency over the direct underlay
+  RTT, the price an overlay pays for indirection (and the quantity that
+  degrades first when fault injection knocks out the short paths).
 """
 
 from __future__ import annotations
@@ -99,6 +102,35 @@ def articulation_point_count(graph: nx.Graph) -> int:
     if graph.number_of_nodes() == 0:
         raise ReproError("empty graph")
     return sum(1 for _ in nx.articulation_points(graph))
+
+
+def stretch_summary(
+    achieved_ms: Sequence[float],
+    baseline_ms: Sequence[float],
+) -> dict[str, float]:
+    """Mean/median stretch of achieved latencies over their baselines.
+
+    ``achieved_ms[i]`` is an operation's end-to-end latency (e.g. one
+    iterative lookup); ``baseline_ms[i]`` the direct underlay RTT the
+    operation would have cost with perfect knowledge.  Pairs with a
+    non-positive baseline (local hits) are skipped; with no usable pair
+    the stretches are NaN and ``n`` is 0.
+    """
+    if len(achieved_ms) != len(baseline_ms):
+        raise ReproError("achieved/baseline length mismatch")
+    ratios = [
+        a / b
+        for a, b in zip(achieved_ms, baseline_ms)
+        if b > 0 and np.isfinite(a)
+    ]
+    if not ratios:
+        return {"n": 0, "mean_stretch": float("nan"),
+                "median_stretch": float("nan")}
+    return {
+        "n": len(ratios),
+        "mean_stretch": float(np.mean(ratios)),
+        "median_stretch": float(np.median(ratios)),
+    }
 
 
 def resilience_summary(

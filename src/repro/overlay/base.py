@@ -17,6 +17,7 @@ from repro.obs.registry import Counter as MetricCounter
 from repro.obs.registry import MetricRegistry
 from repro.sim.engine import Simulation
 from repro.sim.messages import Message, MessageBus
+from repro.sim.requests import RequestManager
 from repro.underlay.hosts import Host
 
 
@@ -36,6 +37,10 @@ class OverlayNode:
         self.online = False
         self.sent_counts: Counter[str] = Counter()
         self.received_counts: Counter[str] = Counter()
+        #: set by protocols that run RPC-style exchanges; going offline
+        #: cancels whatever is outstanding so a crashed node's retry
+        #: timers die with it
+        self.requests: Optional[RequestManager] = None
 
     def instrument(self, registry: MetricRegistry, component: str) -> None:
         """Mirror this node's per-kind send/receive counts into
@@ -71,6 +76,8 @@ class OverlayNode:
             return
         self.online = False
         self.bus.unregister(self.host_id)
+        if self.requests is not None:
+            self.requests.cancel_all()
 
     # -- messaging ---------------------------------------------------------------
     def send(

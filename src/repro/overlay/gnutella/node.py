@@ -40,6 +40,7 @@ from repro.overlay.gnutella.messages import (
 )
 from repro.sim.engine import Simulation
 from repro.sim.messages import Message, MessageBus
+from repro.sim.requests import RequestManager, RetryPolicy
 from repro.underlay.hosts import Host
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -51,7 +52,14 @@ LEAF = "leaf"
 
 @dataclass(frozen=True)
 class GnutellaConfig:
-    """Protocol knobs (defaults sized for few-hundred-node simulations)."""
+    """Protocol knobs (defaults sized for few-hundred-node simulations).
+
+    The connect handshake is stop-and-wait, so a lost CONNECT_REQUEST or
+    CONNECT_REPLY used to wedge the joining servent forever; it now runs
+    under a retry policy (``connect_timeout_ms`` base deadline,
+    ``connect_max_retries`` retransmissions with doubled timeouts) and a
+    final failure simply moves on to the next candidate.
+    """
 
     query_ttl: int = 4
     ping_ttl: int = 2
@@ -61,6 +69,8 @@ class GnutellaConfig:
     leaf_connections: int = 3
     hostcache_capacity: int = 1000
     pong_cache_size: int = 20
+    connect_timeout_ms: float = 4000.0
+    connect_max_retries: int = 1
 
     def __post_init__(self) -> None:
         if self.query_ttl < 1 or self.ping_ttl < 1:
@@ -71,6 +81,8 @@ class GnutellaConfig:
             raise OverlayError("invalid capacity configuration")
         if self.pongs_per_ping < 1 or self.pong_cache_size < 1:
             raise OverlayError("pong parameters must be >= 1")
+        if self.connect_timeout_ms <= 0 or self.connect_max_retries < 0:
+            raise OverlayError("invalid connect retry configuration")
 
 
 class GnutellaNode(OverlayNode):
@@ -99,6 +111,15 @@ class GnutellaNode(OverlayNode):
         self._route_back: dict[tuple[str, int], int] = {}
         self._pong_cache: list[int] = []
         self._pending_candidates: list[int] = []
+        self.requests = RequestManager(
+            sim,
+            policy=RetryPolicy(
+                timeout_ms=config.connect_timeout_ms,
+                max_retries=config.connect_max_retries,
+                max_timeout_ms=4.0 * config.connect_timeout_ms,
+            ),
+            component="gnutella",
+        )
 
     # ------------------------------------------------------------------ joining
     def desired_connections(self) -> int:
@@ -126,14 +147,31 @@ class GnutellaNode(OverlayNode):
             target = self._pending_candidates.pop(0)
             if target in self.neighbors:
                 continue
-            self.send(
-                target,
-                "CONNECT_REQUEST",
-                ConnectRequest(peer=self.host_id, role=self.role),
-                CONNECT_SIZE,
+            key = ("connect", target)
+            if self.requests.is_outstanding(key):
+                continue  # handshake with this peer already in flight
+            request = ConnectRequest(peer=self.host_id, role=self.role)
+
+            def transmit(t: int = target, r: ConnectRequest = request) -> None:
+                if self.online:
+                    self.send(t, "CONNECT_REQUEST", r, CONNECT_SIZE)
+
+            self.requests.issue(
+                key, transmit,
+                on_fail=lambda t=target: self._connect_failed(t),
             )
-            # stop-and-wait: continue from on_connect_reply
+            # stop-and-wait: continue from on_connect_reply (or the
+            # retry manager's final failure)
             return
+
+    def _connect_failed(self, target: int) -> None:
+        """The handshake with ``target`` timed out on every attempt
+        (request or reply lost, peer crashed): move on instead of
+        hanging.  The peer also leaves the hostcache — it just proved
+        unreachable."""
+        self.hostcache.remove(target)
+        if self.online:
+            self._try_next_candidates()
 
     def on_connect_request(self, msg: Message) -> None:
         req: ConnectRequest = msg.payload
@@ -162,6 +200,7 @@ class GnutellaNode(OverlayNode):
 
     def on_connect_reply(self, msg: Message) -> None:
         rep: ConnectReply = msg.payload
+        self.requests.resolve(("connect", rep.peer))
         if rep.accepted:
             self.neighbors.add(rep.peer)
             if self.role == LEAF and self.shared:

@@ -29,8 +29,9 @@ from repro.overlay.base import OverlayNode
 from repro.overlay.kademlia.id_space import validate_id, xor_distance
 from repro.overlay.kademlia.kbucket import Contact
 from repro.overlay.kademlia.routing_table import RoutingTable
-from repro.sim.engine import EventHandle, Simulation
+from repro.sim.engine import Simulation
 from repro.sim.messages import Message, MessageBus
+from repro.sim.requests import RequestManager, RetryPolicy
 from repro.underlay.hosts import Host
 
 #: Approximate RPC sizes (bytes): header + ids/contact list.
@@ -41,12 +42,21 @@ CONTACT_WIRE_SIZE = 26
 
 @dataclass(frozen=True)
 class KademliaConfig:
-    """Protocol constants: k, alpha, proximity modes, RPC timeout."""
+    """Protocol constants: k, alpha, proximity modes, RPC retry policy.
+
+    ``rpc_max_retries`` retransmissions (capped exponential backoff,
+    factor ``rpc_backoff_factor``, deadline capped at
+    ``rpc_max_timeout_ms``, default 4x the base timeout) keep lookups
+    alive over a lossy bus; 0 restores bare-timeout behaviour.
+    """
     k: int = 8
     alpha: int = 3
     proximity_buckets: bool = False   # PNS
     proximity_routing: bool = False   # PR
     rpc_timeout_ms: float = 1500.0
+    rpc_max_retries: int = 2
+    rpc_backoff_factor: float = 2.0
+    rpc_max_timeout_ms: Optional[float] = None
     max_rounds: int = 32
 
     def __post_init__(self) -> None:
@@ -54,6 +64,25 @@ class KademliaConfig:
             raise OverlayError("k and alpha must be >= 1")
         if self.rpc_timeout_ms <= 0:
             raise OverlayError("rpc timeout must be positive")
+        if self.rpc_max_retries < 0 or self.rpc_backoff_factor < 1.0:
+            raise OverlayError("invalid rpc retry configuration")
+        if (
+            self.rpc_max_timeout_ms is not None
+            and self.rpc_max_timeout_ms < self.rpc_timeout_ms
+        ):
+            raise OverlayError("rpc_max_timeout_ms must be >= rpc_timeout_ms")
+
+    def retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(
+            timeout_ms=self.rpc_timeout_ms,
+            max_retries=self.rpc_max_retries,
+            backoff_factor=self.rpc_backoff_factor,
+            max_timeout_ms=(
+                self.rpc_max_timeout_ms
+                if self.rpc_max_timeout_ms is not None
+                else 4.0 * self.rpc_timeout_ms
+            ),
+        )
 
 
 @dataclass
@@ -212,8 +241,12 @@ class KademliaNode(OverlayNode):
         )
         self.storage: dict[int, set[int]] = {}
         self._rpc_seq = itertools.count()
-        # rpc_id -> (lookup, contact, sent_at, timeout handle)
-        self._pending: dict[int, tuple[_Lookup, Contact, float, EventHandle]] = {}
+        # rpc_id -> (lookup, contact, first_sent_at); timeouts/retries are
+        # owned by the request manager
+        self._pending: dict[int, tuple[_Lookup, Contact, float]] = {}
+        self.requests = RequestManager(
+            sim, policy=self.config.retry_policy(), component="kademlia"
+        )
 
     # -- observability -----------------------------------------------------------
     def instrument(self, registry: MetricRegistry, component: str = "kademlia") -> None:
@@ -246,28 +279,34 @@ class KademliaNode(OverlayNode):
         )
 
     def _send_lookup_rpc(self, lookup: _Lookup, target_contact: Contact) -> None:
+        if not self.online:
+            # a crashed node's lookup cannot transmit; fail the candidate
+            # asynchronously so the lookup machine unwinds without sending
+            self.sim.schedule(0.0, lookup.on_timeout, target_contact.node_id)
+            return
         rpc_id = next(self._rpc_seq)
         kind = "FIND_VALUE" if lookup.find_value else "FIND_NODE"
-        handle = self.sim.schedule(
-            self.config.rpc_timeout_ms, self._rpc_timeout, rpc_id
-        )
-        self._pending[rpc_id] = (lookup, target_contact, self.sim.now, handle)
-        self.send(
-            target_contact.host_id,
-            kind,
-            {
-                "rpc_id": rpc_id,
-                "target": lookup.target,
-                "sender_id": self.node_id,
-            },
-            RPC_REQUEST_SIZE,
+        payload = {
+            "rpc_id": rpc_id,
+            "target": lookup.target,
+            "sender_id": self.node_id,
+        }
+        self._pending[rpc_id] = (lookup, target_contact, self.sim.now)
+
+        def transmit() -> None:
+            if self.online:
+                self.send(target_contact.host_id, kind, payload, RPC_REQUEST_SIZE)
+
+        self.requests.issue(
+            rpc_id, transmit, on_fail=lambda: self._rpc_failed(rpc_id)
         )
 
-    def _rpc_timeout(self, rpc_id: int) -> None:
+    def _rpc_failed(self, rpc_id: int) -> None:
+        """All attempts timed out: purge the contact, notify the lookup."""
         entry = self._pending.pop(rpc_id, None)
         if entry is None:
             return
-        lookup, contact, _sent, _handle = entry
+        lookup, contact, _sent = entry
         self.routing_table.remove(contact.node_id)
         lookup.on_timeout(contact.node_id)
 
@@ -323,9 +362,9 @@ class KademliaNode(OverlayNode):
         rep = msg.payload
         entry = self._pending.pop(rep["rpc_id"], None)
         if entry is None:
-            return  # reply after timeout
-        lookup, contact, sent_at, handle = entry
-        handle.cancel()
+            return  # reply after final failure
+        lookup, contact, sent_at = entry
+        self.requests.resolve(rep["rpc_id"])
         rtt = self.sim.now - sent_at
         responder = Contact(
             node_id=rep["sender_id"], host_id=msg.src, rtt_ms=rtt

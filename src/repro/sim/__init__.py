@@ -8,12 +8,15 @@ Public surface:
   — latency-aware unicast between endpoints.
 - :class:`~repro.sim.churn.ChurnProcess` / :class:`~repro.sim.churn.ChurnConfig`
   — peer session dynamics.
+- :class:`~repro.sim.requests.RequestManager` / :class:`~repro.sim.requests.RetryPolicy`
+  — RPC timeouts with capped exponential backoff.
 """
 
 from repro.sim.churn import ChurnConfig, ChurnProcess, draw_duration
 from repro.sim.engine import EventHandle, Simulation
 from repro.sim.messages import BusStats, Message, MessageBus
 from repro.sim.process import PeriodicProcess, call_after
+from repro.sim.requests import RequestManager, RequestStats, RetryPolicy
 
 __all__ = [
     "BusStats",
@@ -23,6 +26,9 @@ __all__ = [
     "Message",
     "MessageBus",
     "PeriodicProcess",
+    "RequestManager",
+    "RequestStats",
+    "RetryPolicy",
     "Simulation",
     "call_after",
     "draw_duration",

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.rng import SeedLike, ensure_rng
-from repro.sim.engine import Simulation
+from repro.sim.engine import EventHandle, Simulation
 
 
 @dataclass(frozen=True)
@@ -92,8 +92,13 @@ class ChurnProcess:
         self._rng = ensure_rng(rng)
         self._online: set[Hashable] = set()
         self._stopped = False
+        #: each peer has at most one scheduled transition; retaining the
+        #: handle lets stop()/crash() cancel it instead of leaking dead
+        #: events into the heap for the rest of the simulation
+        self._handles: dict[Hashable, EventHandle] = {}
         self.joins = 0
         self.leaves = 0
+        self.crashes = 0
 
     @property
     def online(self) -> frozenset:
@@ -104,13 +109,37 @@ class ChurnProcess:
             raise ConfigurationError("warmup must be non-negative")
         for peer in self._peers:
             stagger = float(self._rng.uniform(0.0, warmup)) if warmup > 0 else 0.0
-            self._sim.schedule(stagger, self._join, peer)
+            self._handles[peer] = self._sim.schedule(stagger, self._join, peer)
 
     def stop(self) -> None:
-        """Freeze the process: no further joins/leaves are generated."""
+        """Freeze the process: no further joins/leaves are generated and
+        every pending transition is cancelled (the heap drains)."""
         self._stopped = True
+        for handle in self._handles.values():
+            handle.cancel()
+        self._handles.clear()
+
+    def crash(self, peer: Hashable) -> None:
+        """Instant failure of ``peer``: its pending transition is cancelled
+        and it is marked offline *without* invoking ``on_leave`` — a crash
+        is not a polite departure.  The peer stays dead until
+        :meth:`revive` reintroduces it."""
+        handle = self._handles.pop(peer, None)
+        if handle is not None:
+            handle.cancel()
+        if peer in self._online:
+            self._online.discard(peer)
+            self.crashes += 1
+
+    def revive(self, peer: Hashable, delay: float = 0.0) -> None:
+        """Schedule a crashed (or never-started) peer's next join after
+        ``delay``; a no-op for a peer that is online or already scheduled."""
+        if self._stopped or peer in self._online or peer in self._handles:
+            return
+        self._handles[peer] = self._sim.schedule(delay, self._join, peer)
 
     def _join(self, peer: Hashable) -> None:
+        self._handles.pop(peer, None)
         if self._stopped or peer in self._online:
             return
         self._online.add(peer)
@@ -119,9 +148,10 @@ class ChurnProcess:
         session = draw_duration(
             self._rng, self._config.session_dist, self._config.mean_session
         )
-        self._sim.schedule(session, self._leave, peer)
+        self._handles[peer] = self._sim.schedule(session, self._leave, peer)
 
     def _leave(self, peer: Hashable) -> None:
+        self._handles.pop(peer, None)
         if self._stopped or peer not in self._online:
             return
         self._online.discard(peer)
@@ -130,4 +160,4 @@ class ChurnProcess:
         offline = draw_duration(
             self._rng, self._config.offline_dist, self._config.mean_offline
         )
-        self._sim.schedule(offline, self._join, peer)
+        self._handles[peer] = self._sim.schedule(offline, self._join, peer)

@@ -211,28 +211,34 @@ class Simulation:
         """Run until the queue drains, ``until`` is reached, or ``max_events``
         events have been processed (whichever comes first).
 
-        When stopping at ``until``, the clock is advanced to ``until`` even
-        if no event fires exactly there, so subsequent relative scheduling
-        behaves intuitively.
+        When the run *cleanly* covers the time window (queue drained or the
+        next event lies beyond ``until``), the clock is advanced to ``until``
+        even if no event fires exactly there, so subsequent relative
+        scheduling behaves intuitively.  A run cut short — a callback raised,
+        or ``max_events`` stopped it mid-window — leaves the clock at the
+        last processed event so failures are not reported as completions.
         """
         if self._running:
             raise SimulationError("simulation is already running (reentrant run())")
         self._running = True
         processed = 0
+        completed = False
         try:
             while True:
                 if max_events is not None and processed >= max_events:
                     break
                 next_time = self.peek_time()
                 if next_time is None:
+                    completed = True
                     break
                 if until is not None and next_time > until:
+                    completed = True
                     break
                 self.step()
                 processed += 1
         finally:
             self._running = False
-        if until is not None and until > self._now:
+        if completed and until is not None and until > self._now:
             self._now = float(until)
 
     def pending(self) -> int:

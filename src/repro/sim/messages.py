@@ -12,8 +12,11 @@ host ids); receivers register a handler callable per endpoint.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Optional, Protocol
+
+import numpy as np
 
 from repro.errors import SimulationError
 from repro.obs import active_registry, active_tracer
@@ -63,8 +66,17 @@ class BusStats:
     delivered: int = 0
     dropped_no_handler: int = 0
     dropped_loss: int = 0
+    dropped_fault: int = 0
     bytes_sent: int = 0
     by_kind: dict[str, int] = field(default_factory=dict)
+
+
+#: Interposition hook installed by :class:`repro.faults.FaultInjector`:
+#: given ``(src, dst, kind)`` it returns an extra delay in clock units to
+#: add to the message, or ``math.inf`` to drop it in flight.  ``0.0`` is a
+#: no-op.  Kept as a bare callable so the sim layer stays below the faults
+#: layer in the import graph.
+FaultHook = Callable[[Hashable, Hashable, str], float]
 
 
 class MessageBus:
@@ -87,16 +99,15 @@ class MessageBus:
         loss_rate: float = 0.0,
         loss_seed: int = 0,
     ) -> None:
-        if not (0.0 <= loss_rate < 1.0):
-            raise SimulationError(f"loss_rate must be in [0, 1), got {loss_rate}")
         self._sim = sim
         self._latency = latency
         self._handlers: dict[Hashable, Callable[[Message], None]] = {}
         self._observers: list[TrafficObserver] = []
-        self.loss_rate = loss_rate
-        self._loss_rng = (
-            __import__("numpy").random.default_rng(loss_seed) if loss_rate else None
-        )
+        self._loss_seed = loss_seed
+        self._loss_rng: Optional[np.random.Generator] = None
+        self._loss_rate = 0.0
+        self.loss_rate = loss_rate  # property: validates + creates the RNG
+        self._fault_hook: Optional[FaultHook] = None
         self.stats = BusStats()
         self._sent_ctr: Optional[Counter] = None
         self._bytes_ctr: Optional[Counter] = None
@@ -131,6 +142,34 @@ class MessageBus:
             )
         if tracer is not None:
             self._tracer = tracer
+
+    # -- failure injection --------------------------------------------------------
+    @property
+    def loss_rate(self) -> float:
+        """Independent in-flight drop probability per message.
+
+        Settable at any time (fault injection raises and lowers it during a
+        run); the loss RNG is created lazily on the first nonzero rate, so
+        a bus that never loses anything never draws from it.
+        """
+        return self._loss_rate
+
+    @loss_rate.setter
+    def loss_rate(self, rate: float) -> None:
+        if not (0.0 <= rate < 1.0):
+            raise SimulationError(f"loss_rate must be in [0, 1), got {rate}")
+        self._loss_rate = float(rate)
+        if rate and self._loss_rng is None:
+            self._loss_rng = np.random.default_rng(self._loss_seed)
+
+    def set_fault_hook(self, hook: Optional[FaultHook]) -> None:
+        """Install (or with ``None`` remove) the fault-injection hook.
+
+        The hook sees every sent message after traffic accounting and
+        returns an extra delay, or ``math.inf`` to drop the message in
+        flight (counted as ``dropped_fault``, trace reason ``"fault"``).
+        """
+        self._fault_hook = hook
 
     def register(self, endpoint: Hashable, handler: Callable[[Message], None]) -> None:
         """Attach ``handler`` to ``endpoint``; replaces any previous handler."""
@@ -172,7 +211,20 @@ class MessageBus:
                 "bus", "send", time=self._sim.now,
                 src=src, dst=dst, kind=kind, size=size_bytes,
             )
-        if self._loss_rng is not None and self._loss_rng.random() < self.loss_rate:
+        if self._fault_hook is not None:
+            penalty = self._fault_hook(src, dst, kind)
+            if penalty == math.inf:
+                self.stats.dropped_fault += 1
+                if self._dropped_ctr is not None:
+                    self._dropped_ctr.inc(reason="fault")
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        "bus", "drop", time=self._sim.now,
+                        src=src, dst=dst, kind=kind, reason="fault",
+                    )
+                return msg
+            delay += penalty
+        if self._loss_rate and self._loss_rng.random() < self._loss_rate:
             self.stats.dropped_loss += 1
             if self._dropped_ctr is not None:
                 self._dropped_ctr.inc(reason="loss")

@@ -27,6 +27,35 @@ def test_loss_rate_validation(sim):
         MessageBus(sim, FixedLatency(), loss_rate=-0.1)
 
 
+def test_loss_rate_set_after_construction_takes_effect(sim):
+    """Regression: assigning ``bus.loss_rate`` on a bus built lossless
+    used to silently drop nothing (the loss RNG was only created in the
+    constructor); the property now provisions it lazily."""
+    bus = MessageBus(sim, FixedLatency(), loss_seed=1)
+    bus.register("b", lambda m: None)
+    bus.loss_rate = 0.4
+    n = 1000
+    for _ in range(n):
+        bus.send("a", "b", "X")
+    sim.run()
+    assert 0.3 * n < bus.stats.dropped_loss < 0.5 * n
+    bus.loss_rate = 0.0  # and back off again
+    for _ in range(100):
+        bus.send("a", "b", "X")
+    dropped_before = bus.stats.dropped_loss
+    sim.run()
+    assert bus.stats.dropped_loss == dropped_before
+
+
+def test_loss_rate_property_validates_assignment(sim):
+    bus = MessageBus(sim, FixedLatency())
+    with pytest.raises(SimulationError):
+        bus.loss_rate = 1.0
+    with pytest.raises(SimulationError):
+        bus.loss_rate = -0.2
+    assert bus.loss_rate == 0.0  # rejected assignment left the bus intact
+
+
 def test_loss_rate_statistics(sim):
     bus = MessageBus(sim, FixedLatency(), loss_rate=0.3, loss_seed=1)
     got = []

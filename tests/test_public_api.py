@@ -8,6 +8,7 @@ import pytest
 PACKAGES = [
     "repro",
     "repro.sim",
+    "repro.faults",
     "repro.underlay",
     "repro.coords",
     "repro.collection",

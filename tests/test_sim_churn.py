@@ -11,7 +11,18 @@ def test_config_validation():
     with pytest.raises(ConfigurationError):
         ChurnConfig(mean_session=-1.0)
     with pytest.raises(ConfigurationError):
+        ChurnConfig(mean_session=0.0)
+    with pytest.raises(ConfigurationError):
+        ChurnConfig(mean_offline=-5.0)
+    with pytest.raises(ConfigurationError):
         ChurnConfig(session_dist="lognormal")
+    with pytest.raises(ConfigurationError):
+        ChurnConfig(offline_dist="uniform")
+
+
+def test_draw_duration_unknown_family_rejected():
+    with pytest.raises(ConfigurationError):
+        draw_duration(np.random.default_rng(0), "lognormal", 10.0)
 
 
 @pytest.mark.parametrize("family", ["exponential", "pareto", "weibull"])
@@ -77,6 +88,66 @@ def test_stop_freezes_process():
     proc.stop()
     sim.run(until=10_000.0)
     assert proc.joins == joins_before
+
+
+def test_stop_cancels_pending_transitions_so_heap_drains():
+    """Regression: stop() used to leave every peer's next transition in
+    the heap, keeping the simulation alive for the rest of the run."""
+    sim = Simulation()
+    proc = ChurnProcess(
+        sim,
+        peers=list(range(10)),
+        config=ChurnConfig(mean_session=50.0, mean_offline=50.0),
+        on_join=lambda p: None,
+        on_leave=lambda p: None,
+        rng=4,
+    )
+    proc.start(warmup=5.0)
+    sim.run(until=500.0)
+    assert sim.pending() > 0  # transitions queued while running
+    proc.stop()
+    assert sim.pending() == 0
+    # an unbounded run returns immediately instead of churning forever
+    sim.run()
+    assert sim.now == 500.0
+
+
+def test_crash_skips_on_leave_and_revive_rejoins():
+    sim = Simulation()
+    events = []
+    proc = ChurnProcess(
+        sim,
+        peers=["p"],
+        config=ChurnConfig(mean_session=1e9, mean_offline=1e9),
+        on_join=lambda p: events.append("join"),
+        on_leave=lambda p: events.append("leave"),
+        rng=5,
+    )
+    proc.start(warmup=0.0)
+    sim.run(until=10.0)
+    assert events == ["join"] and proc.online == {"p"}
+    proc.crash("p")
+    assert events == ["join"]  # a crash is not a polite departure
+    assert proc.crashes == 1 and not proc.online
+    sim.run(until=1000.0)
+    assert events == ["join"]  # stays dead: pending leave was cancelled
+    proc.revive("p", delay=5.0)
+    proc.revive("p", delay=5.0)  # idempotent while scheduled
+    sim.run(until=2000.0)
+    assert events == ["join", "join"] and proc.online == {"p"}
+    proc.revive("p")  # no-op for an online peer
+    sim.run(until=2100.0)
+    assert events == ["join", "join"]
+
+
+def test_crash_of_offline_peer_is_a_noop():
+    sim = Simulation()
+    proc = ChurnProcess(
+        sim, peers=["p"], config=ChurnConfig(),
+        on_join=lambda p: None, on_leave=lambda p: None,
+    )
+    proc.crash("p")  # never started, never online
+    assert proc.crashes == 0
 
 
 def test_negative_warmup_rejected():

@@ -93,6 +93,29 @@ def test_max_events_limits_processing():
     assert fired == [0, 1, 2, 3]
 
 
+def test_raising_callback_does_not_advance_clock_to_until():
+    sim = Simulation()
+    sim.schedule(1.0, lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+    sim.schedule(50.0, lambda: None)
+    with pytest.raises(RuntimeError):
+        sim.run(until=100.0)
+    # the run did not complete: the clock stays at the failing event, not
+    # at the horizon, so a recovered caller resumes from the right time
+    assert sim.now == 1.0
+    sim.run(until=100.0)
+    assert sim.now == 100.0
+
+
+def test_max_events_cut_short_does_not_advance_clock_to_until():
+    sim = Simulation()
+    for i in range(10):
+        sim.schedule(float(i), lambda: None)
+    sim.run(until=100.0, max_events=4)
+    assert sim.now == 3.0  # stopped early: horizon not reached
+    sim.run(until=100.0)
+    assert sim.now == 100.0
+
+
 def test_pending_and_peek():
     sim = Simulation()
     assert sim.peek_time() is None

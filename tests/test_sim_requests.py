@@ -1,0 +1,127 @@
+"""RequestManager: timeouts, capped exponential backoff, retries."""
+
+import pytest
+
+from repro import obs
+from repro.errors import SimulationError
+from repro.sim import RequestManager, RetryPolicy, Simulation
+
+
+def test_policy_validation():
+    with pytest.raises(SimulationError):
+        RetryPolicy(timeout_ms=0.0)
+    with pytest.raises(SimulationError):
+        RetryPolicy(max_retries=-1)
+    with pytest.raises(SimulationError):
+        RetryPolicy(backoff_factor=0.5)
+    with pytest.raises(SimulationError):
+        RetryPolicy(timeout_ms=100.0, max_timeout_ms=50.0)
+
+
+def test_backoff_is_capped():
+    policy = RetryPolicy(
+        timeout_ms=100.0, backoff_factor=2.0, max_timeout_ms=300.0
+    )
+    assert [policy.timeout_for_attempt(a) for a in range(4)] == [
+        100.0, 200.0, 300.0, 300.0
+    ]
+
+
+def test_resolve_before_timeout_means_no_retry():
+    sim = Simulation()
+    mgr = RequestManager(sim, policy=RetryPolicy(timeout_ms=100.0))
+    sends = []
+    mgr.issue("r1", lambda: sends.append(sim.now))
+    sim.schedule(50.0, mgr.resolve, "r1")
+    sim.run()
+    assert sends == [0.0]
+    assert mgr.stats.resolved == 1
+    assert mgr.stats.retried == mgr.stats.failed == 0
+    assert not mgr.is_outstanding("r1")
+
+
+def test_retries_then_final_failure_with_backoff():
+    sim = Simulation()
+    mgr = RequestManager(
+        sim,
+        policy=RetryPolicy(
+            timeout_ms=100.0, max_retries=2, backoff_factor=2.0,
+            max_timeout_ms=1e6,
+        ),
+    )
+    sends, failures = [], []
+    mgr.issue("r1", lambda: sends.append(sim.now),
+              on_fail=lambda: failures.append(sim.now))
+    sim.run()
+    # transmit at 0, retries at 100 and 300, final failure at 700
+    assert sends == [0.0, 100.0, 300.0]
+    assert failures == [700.0]
+    assert mgr.stats.retried == 2 and mgr.stats.failed == 1
+    assert not mgr.is_outstanding("r1")
+
+
+def test_late_reply_to_an_earlier_attempt_resolves():
+    sim = Simulation()
+    mgr = RequestManager(sim, policy=RetryPolicy(timeout_ms=100.0))
+    sends = []
+    mgr.issue("r1", lambda: sends.append(sim.now))
+    sim.schedule(150.0, mgr.resolve, "r1")  # reply after the first retry
+    sim.run()
+    assert sends == [0.0, 100.0]
+    assert mgr.stats.resolved == 1 and mgr.stats.failed == 0
+
+
+def test_duplicate_key_rejected_and_resolve_unknown_is_harmless():
+    sim = Simulation()
+    mgr = RequestManager(sim)
+    mgr.issue("r1", lambda: None)
+    with pytest.raises(SimulationError):
+        mgr.issue("r1", lambda: None)
+    assert mgr.resolve("never-issued") is False
+
+
+def test_per_request_policy_override():
+    sim = Simulation()
+    mgr = RequestManager(
+        sim, policy=RetryPolicy(timeout_ms=1e6, max_timeout_ms=1e6)
+    )
+    failures = []
+    mgr.issue(
+        "fast", lambda: None, on_fail=lambda: failures.append(sim.now),
+        policy=RetryPolicy(timeout_ms=10.0, max_retries=0),
+    )
+    sim.run(until=100.0)
+    assert failures == [10.0]
+
+
+def test_cancel_all_suppresses_on_fail():
+    sim = Simulation()
+    mgr = RequestManager(sim, policy=RetryPolicy(timeout_ms=10.0))
+    failures = []
+    for key in ("a", "b"):
+        mgr.issue(key, lambda: None, on_fail=lambda: failures.append(key))
+    assert mgr.outstanding == 2
+    assert mgr.cancel_all() == 2
+    sim.run()
+    assert failures == []
+    assert mgr.stats.cancelled == 2
+    # heap drained: cancelled timeouts do not keep the sim alive
+    assert sim.pending() == 0
+
+
+def test_counters_and_trace_events_inside_observe():
+    with obs.observe() as session:
+        sim = Simulation()
+        mgr = RequestManager(
+            sim,
+            policy=RetryPolicy(timeout_ms=10.0, max_retries=1),
+            component="testproto",
+        )
+        mgr.issue("r1", lambda: None)
+        sim.run()
+    retried = session.registry.get("requests_retried_total")
+    failed = session.registry.get("requests_failed_total")
+    assert retried.value(component="testproto") == 1
+    assert failed.value(component="testproto") == 1
+    kinds = [e.kind for e in session.tracer if e.component == "request"]
+    assert kinds == ["retry", "fail"]
