@@ -1,0 +1,69 @@
+"""CI guard: fail when event-loop dispatch regresses by >3x.
+
+Times the schedule-then-drain churn workload (every event re-schedules a
+successor — the shape overlay simulations produce) on the live
+:class:`~repro.sim.engine.Simulation`, best of N runs, and compares it
+against the loose floor recorded in ``runner_floor.json``.  The 3x
+headroom means only a real complexity regression — say, the plain-list
+heap entry quietly growing back into an object per event, or the tracer
+check sliding back into the inner loop — trips it; machine-to-machine
+noise does not.
+
+Usage:  PYTHONPATH=src python benchmarks/check_runner_floor.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.sim import Simulation
+
+HERE = pathlib.Path(__file__).resolve().parent
+REGRESSION_FACTOR = 3.0
+REPEATS = 7
+N_EVENTS = 30_000
+
+
+def _workload() -> int:
+    sim = Simulation()
+    count = [0]
+
+    def tick(depth: int) -> None:
+        count[0] += 1
+        if depth:
+            sim.schedule(1.0, tick, depth - 1)
+
+    for i in range(N_EVENTS // 10):
+        sim.schedule(float(i % 97), tick, 9)
+    sim.run()
+    return count[0]
+
+
+def main() -> int:
+    floor_ms = json.loads(
+        (HERE / "runner_floor.json").read_text()
+    )["event_loop_30k_ms"]
+
+    assert _workload() == N_EVENTS  # warm-up + sanity
+    best = min(_timed(_workload) for _ in range(REPEATS))
+    best_ms = best * 1e3
+    limit_ms = REGRESSION_FACTOR * floor_ms
+    verdict = "OK" if best_ms <= limit_ms else "REGRESSION"
+    print(
+        f"event loop ({N_EVENTS} events): {best_ms:.2f} ms "
+        f"(floor {floor_ms:.2f} ms, limit {limit_ms:.2f} ms) -> {verdict}"
+    )
+    return 0 if best_ms <= limit_ms else 1
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

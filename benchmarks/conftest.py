@@ -9,6 +9,10 @@ the whole benchmark session, so figure/table suites that regenerate the
 same ``(UnderlayConfig, seed)`` pay underlay construction once per unique
 substrate (off by default: every run stays bit-for-bit the seed
 behaviour unless explicitly opted in).
+
+``--workers N`` configures the process-wide :mod:`repro.runner` default,
+fanning multi-arm sweeps (seed robustness, RESILIENCE, testlab, the
+fig4/fig6 arms) out over N forked workers; rows are identical to serial.
 """
 
 import pytest
@@ -25,6 +29,16 @@ def pytest_addoption(parser):
         help="memoise generated underlays for the whole benchmark session "
         "(optionally persisting hop/delay matrices to DIR)",
     )
+    parser.addoption(
+        "--workers",
+        action="store",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan multi-arm experiment sweeps out over N worker processes "
+        "for the whole benchmark session (repro.runner; rows are identical "
+        "to the serial run)",
+    )
 
 
 def pytest_configure(config):
@@ -33,6 +47,11 @@ def pytest_configure(config):
         from repro.underlay.cache import configure_default_cache
 
         configure_default_cache(disk_dir=opt or None)
+    workers = config.getoption("--workers")
+    if workers is not None:
+        from repro.runner import configure_default_workers
+
+        configure_default_workers(workers)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

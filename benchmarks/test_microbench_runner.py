@@ -1,0 +1,207 @@
+"""Micro-benchmarks for the runner PR: event-loop hot path + fan-out.
+
+Two claims are measured and recorded in ``BENCH_runner.json`` at the
+repo root (the CI benchmark smoke uploads it):
+
+1. **Event loop** — the plain-list heap entry + specialised (traced /
+   untraced) run loops beat a seed-style reference engine (dataclass
+   events, per-event tracer check) by >= 1.2x on raw dispatch
+   throughput.
+2. **Parallel sweeps** — ``run_arms`` with ``workers=4`` beats the
+   serial path by >= 2x wall-clock on the 4-seed Figure 6 robustness
+   sweep.  *This assertion is gated on the machine actually having >= 4
+   usable cores* (``os.sched_getaffinity``): forked workers cannot beat
+   serial on a single-core container, and pretending otherwise would
+   just bake noise into CI.  The honest measured numbers (and the CPU
+   count they were measured on) are always recorded in the artifact.
+
+The ``benchmark``-fixture tests alongside give pytest-benchmark
+trendlines for the same paths.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import heapq
+import itertools
+
+import numpy as np
+
+from repro.experiments import run_fig6
+from repro.experiments.common import repeat_over_seeds
+from repro.runner import run_arms
+from repro.sim import Simulation
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+N_EVENTS = 30_000
+SWEEP_SEEDS = [3, 17, 29, 41]
+SWEEP_HOSTS = 150
+
+
+# -- seed-style reference engine ---------------------------------------------
+# The pre-PR implementation, kept verbatim in spirit: a dataclass per
+# event (order=True on (time, seq)) and a single run loop that checks
+# the tracer on every iteration.  Retained here so the recorded speedup
+# always compares the same baseline, whatever the live engine becomes.
+
+
+@dataclass(order=True)
+class _RefEvent:
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+    fired: bool = field(compare=False, default=False)
+
+
+class _RefSimulation:
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[_RefEvent] = []
+        self._seq = itertools.count()
+        self._tracer: Any = None
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback, *args) -> _RefEvent:
+        ev = _RefEvent(self._now + delay, next(self._seq), callback, args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def run(self, until: float | None = None) -> None:
+        heap = self._heap
+        while heap:
+            ev = heap[0]
+            if until is not None and ev.time > until:
+                break
+            heapq.heappop(heap)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            ev.fired = True
+            if self._tracer is not None:  # checked per event, every event
+                self._tracer.emit("sim", "fire", time=ev.time, seq=ev.seq)
+            self.events_processed += 1
+            ev.callback(*ev.args)
+        if until is not None and (not heap or heap[0].time > until):
+            self._now = max(self._now, until)
+
+
+def _event_workload(sim_cls) -> int:
+    """Schedule-then-drain churn: every event re-schedules a successor,
+    which is the shape the overlay simulations produce."""
+    sim = sim_cls()
+    count = [0]
+
+    def tick(depth: int) -> None:
+        count[0] += 1
+        if depth:
+            sim.schedule(1.0, tick, depth - 1)
+
+    for i in range(N_EVENTS // 10):
+        sim.schedule(float(i % 97), tick, 9)
+    sim.run()
+    return count[0]
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _fig6_sweep(workers: int):
+    return repeat_over_seeds(
+        lambda seed: run_fig6(n_hosts=SWEEP_HOSTS, seed=seed),
+        seeds=SWEEP_SEEDS,
+        key_column="arm",
+        value_columns=["intra_as_edge_fraction", "as_modularity"],
+        workers=workers,
+    )
+
+
+def test_event_loop_reference_equivalence():
+    """Benchmark prerequisite: both engines dispatch the same events."""
+    assert _event_workload(Simulation) == _event_workload(_RefSimulation)
+
+
+def test_schedule_many_batch_insert(benchmark):
+    """Batch insertion of a broadcast-sized fan-out."""
+    def run():
+        sim = Simulation()
+        sim.schedule_many((float(i % 50), _noop, ()) for i in range(5_000))
+        sim.run()
+        return sim.events_processed
+
+    assert benchmark(run) == 5_000
+
+
+def _noop() -> None:
+    pass
+
+
+def test_runner_serial_overhead(benchmark):
+    """run_arms(workers=1) is a thin wrapper over the plain loop."""
+    arms = list(range(100))
+    out = benchmark(run_arms, _square, arms, workers=1)
+    assert out == [a * a for a in arms]
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def test_runner_artifact():
+    """Record the PR's performance claims in BENCH_runner.json."""
+    cpus = len(os.sched_getaffinity(0))
+
+    # 1. event loop vs the seed-style reference engine
+    ref_s = _best_of(lambda: _event_workload(_RefSimulation))
+    fast_s = _best_of(lambda: _event_workload(Simulation))
+    loop_speedup = ref_s / fast_s
+
+    # 2. the 4-seed fig6 robustness sweep, serial vs 4 workers
+    serial_s = _best_of(lambda: _fig6_sweep(1), repeats=1)
+    parallel_s = _best_of(lambda: _fig6_sweep(4), repeats=1)
+    sweep_speedup = serial_s / parallel_s
+
+    # determinism rider: the timed runs must agree row-for-row
+    assert _fig6_sweep(1).rows == _fig6_sweep(4).rows
+
+    artifact = {
+        "event_loop": {
+            "events": N_EVENTS,
+            "reference_ms": round(ref_s * 1e3, 3),
+            "fast_ms": round(fast_s * 1e3, 3),
+            "speedup": round(loop_speedup, 2),
+        },
+        "fig6_sweep_4seeds": {
+            "n_hosts": SWEEP_HOSTS,
+            "seeds": SWEEP_SEEDS,
+            "serial_s": round(serial_s, 3),
+            "workers4_s": round(parallel_s, 3),
+            "speedup": round(sweep_speedup, 2),
+            "cpus": cpus,
+        },
+    }
+    (REPO_ROOT / "BENCH_runner.json").write_text(
+        json.dumps(artifact, indent=2) + "\n"
+    )
+
+    assert loop_speedup >= 1.2, artifact
+    if cpus >= 4:
+        # the headline parallel claim, only meaningful with real cores
+        assert sweep_speedup >= 2.0, artifact
+    # below 4 cores the parallel timing is pure oversubscription noise
+    # (4 forked workers time-slicing 1-2 cores): record, don't assert —
+    # the determinism rider above still ran the parallel path for real

@@ -16,6 +16,9 @@ forwards keyword overrides (ints/floats parsed automatically).
 prints the metrics snapshot (JSON) and the trace digest after the table.
 ``--substrate-cache`` memoises generated underlays across the run (with
 an optional directory to persist hop/delay matrices between runs).
+``--workers N`` fans multi-arm sweeps (seed robustness, the RESILIENCE
+grid, testlab, the fig4/fig6 arms) out over N worker processes via
+:mod:`repro.runner`; results are bit-identical to the serial run.
 """
 
 from __future__ import annotations
@@ -119,6 +122,15 @@ def main(argv: list[str] | None = None) -> int:
         help="memoise generated underlays across the experiments of this "
         "run (optionally persisting hop/delay matrices to DIR)",
     )
+    runp.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan multi-arm sweeps out over N worker processes "
+        "(repro.runner; results are identical to serial, REPRO_RUNNER_SERIAL=1 "
+        "forces the serial path)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -140,6 +152,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.underlay.cache import configure_default_cache
 
         configure_default_cache(disk_dir=args.substrate_cache or None)
+    if args.workers is not None:
+        from repro.runner import configure_default_workers
+
+        if args.workers < 1:
+            raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+        configure_default_workers(args.workers)
     overrides = _parse_overrides(args.arg)
     for exp_id in ids:
         fn, _desc = EXPERIMENTS[exp_id]

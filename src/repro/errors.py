@@ -49,6 +49,11 @@ class FaultError(ReproError):
     window, unknown fault kind, AS-scoped fault without an AS resolver)."""
 
 
+class RunnerError(ReproError):
+    """A parallel sweep worker failed, died, or returned an unusable
+    result (the original traceback is embedded in the message)."""
+
+
 class CoordinateError(ReproError):
     """A network coordinate system was given invalid input (e.g. a
     non-square distance matrix, negative delays)."""

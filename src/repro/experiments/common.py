@@ -68,32 +68,35 @@ def repeat_over_seeds(
     *,
     key_column: str,
     value_columns: Sequence[str],
+    workers: int | None = None,
 ) -> ExperimentResult:
     """Robustness harness: run an experiment per seed and report mean/std
     of the chosen numeric columns per key (arm) value.
 
     ``run(seed)`` must return results with identical keys across seeds.
+    Seeds fan out through :func:`repro.runner.run_arms` (serial unless
+    ``workers``, the CLI/benchmark ``--workers`` option, or
+    ``REPRO_RUNNER_WORKERS`` says otherwise); per-seed results are
+    reduced in seed order, so the aggregate is identical at any worker
+    count.
     """
     from collections import defaultdict
-    from typing import Callable  # noqa: F401 (documented signature)
 
-    import numpy as np
+    from repro.experiments.stats import mean_std
+    from repro.runner import run_arms
 
     if not seeds:
         raise ValueError("need at least one seed")
+    per_seed = run_arms(run, list(seeds), workers=workers)
     samples: dict[Any, dict[str, list[float]]] = defaultdict(
         lambda: {c: [] for c in value_columns}
     )
-    first: ExperimentResult | None = None
-    for seed in seeds:
-        res = run(seed)
-        if first is None:
-            first = res
+    for res in per_seed:
         for row in res.rows:
             key = row[key_column]
             for col in value_columns:
                 samples[key][col].append(float(row[col]))
-    assert first is not None
+    first = per_seed[0]
     out = ExperimentResult(
         first.experiment_id + "-seeds",
         f"{first.title} (mean ± std over {len(seeds)} seeds)",
@@ -101,8 +104,7 @@ def repeat_over_seeds(
     for key, cols in samples.items():
         row: dict[str, Any] = {key_column: key}
         for col, vals in cols.items():
-            row[f"{col}_mean"] = float(np.mean(vals))
-            row[f"{col}_std"] = float(np.std(vals))
+            row[f"{col}_mean"], row[f"{col}_std"] = mean_std(vals)
         out.add_row(**row)
     return out
 

@@ -32,6 +32,7 @@ from repro.coords import (
 )
 from repro.experiments.common import ExperimentResult
 from repro.experiments.common import generate_underlay
+from repro.runner import run_arms
 from repro.underlay.network import UnderlayConfig
 
 
@@ -127,14 +128,17 @@ def run_fig4_embedding(
 
 
 def run_fig4_dimension_sweep(
-    n_hosts: int = 60, n_beacons: int = 14, seed: int = 33
+    n_hosts: int = 60, n_beacons: int = 14, seed: int = 33,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """The ICS dimension-selection knob: embedding error against the PCA
     dimension (Lim et al.'s step S4 picks it by cumulative variation).
 
     Expected shape: error drops as dimensions are added and plateaus —
     and the paper's cumulative-variation rule (with a high threshold)
-    lands on the plateau without manual tuning.
+    lands on the plateau without manual tuning.  The per-dimension arms
+    fan out through :func:`repro.runner.run_arms` (rows identical at any
+    worker count; the RTT matrix is inherited by forked workers).
     """
     underlay = generate_underlay(UnderlayConfig(n_hosts=n_hosts, seed=seed))
     rtt = underlay.rtt_matrix()
@@ -143,19 +147,25 @@ def run_fig4_dimension_sweep(
     result = ExperimentResult(
         "FIG4c", "ICS embedding error vs PCA dimension"
     )
-    for dim in (1, 2, 3, 5, 8, n_beacons):
+
+    def run_dim(dim: int) -> dict:
         ics = ICS(beacons, ICSConfig(dim=dim))
         coords = ics.host_coordinates(rtt[:, beacon_idx])
         diff = coords[:, None, :] - coords[None, :, :]
         pred = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
         np.fill_diagonal(pred, 0.0)
         rep = evaluate_embedding(pred, rtt)
-        result.add_row(
-            dim=ics.dim,
-            cumulative_variation=float(ics.cumulative_variation[ics.dim - 1]),
-            median_rel_err=rep.median_relative_error,
-            stretch=rep.mean_selection_stretch,
-        )
+        return {
+            "dim": ics.dim,
+            "cumulative_variation": float(
+                ics.cumulative_variation[ics.dim - 1]
+            ),
+            "median_rel_err": rep.median_relative_error,
+            "stretch": rep.mean_selection_stretch,
+        }
+
+    for row in run_arms(run_dim, [1, 2, 3, 5, 8, n_beacons], workers=workers):
+        result.add_row(**row)
     auto = ICS(beacons, ICSConfig(variance_threshold=0.995))
     result.notes.append(
         f"cumulative-variation rule (threshold 0.995) selects dim={auto.dim}"

@@ -15,6 +15,7 @@ from repro.experiments.common import ExperimentResult
 from repro.metrics.locality import locality_summary
 from repro.metrics.resilience import resilience_summary
 from repro.overlay.gnutella import GnutellaConfig, GnutellaNetwork, NeighborPolicy
+from repro.runner import run_arms
 from repro.sim.engine import Simulation
 from repro.experiments.common import generate_underlay
 from repro.underlay.network import Underlay, UnderlayConfig
@@ -50,9 +51,13 @@ def run_fig6(
     *,
     removal_fraction: float = 0.2,
     dot_path_prefix: str | None = None,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """``dot_path_prefix`` additionally renders the two Figure 6 panels
-    as Graphviz files (``<prefix>_uniform.dot`` / ``<prefix>_biased.dot``)."""
+    as Graphviz files (``<prefix>_uniform.dot`` / ``<prefix>_biased.dot``).
+    The three policy arms fan out over :func:`repro.runner.run_arms`
+    (``workers`` defaults to the process-wide runner setting; rows are
+    identical at any worker count)."""
     underlay = generate_underlay(
         UnderlayConfig(
             topology=TopologyConfig(n_tier1=3, n_tier2=6, n_stub=12, n_regions=4),
@@ -68,16 +73,25 @@ def run_fig6(
         ("biased", NeighborPolicy.BIASED, 1),
         ("biased_no_floor", NeighborPolicy.BIASED, 0),  # ablation: quota off
     ]
-    graphs = {}
-    for name, policy, quota in arms:
+
+    def run_arm(arm: tuple) -> tuple:
+        # workers inherit ``underlay`` via fork; each arm builds its own
+        # sim/overlay on top of the shared read-only substrate
+        name, policy, quota = arm
         net = _build_overlay(underlay, policy, seed + 1, quota)
         graph = net.overlay_graph()
-        graphs[name] = graph
         loc = locality_summary(graph, underlay.asn_of)
         res = resilience_summary(
             graph, underlay.asn_of, removal_fraction=removal_fraction, rng=seed
         )
-        result.add_row(arm=name, **loc, **res)
+        return graph, {"arm": name, **loc, **res}
+
+    graphs = {}
+    for (name, _policy, _quota), (graph, row) in zip(
+        arms, run_arms(run_arm, arms, workers=workers)
+    ):
+        graphs[name] = graph
+        result.add_row(**row)
     if dot_path_prefix is not None:
         from repro.viz import write_figure6_pair
 

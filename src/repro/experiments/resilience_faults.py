@@ -41,6 +41,7 @@ from repro.faults import (
 from repro.metrics.resilience import stretch_summary
 from repro.overlay.kademlia import KademliaConfig, KademliaNetwork
 from repro.rng import ensure_rng
+from repro.runner import run_arms
 from repro.sim.engine import Simulation
 from repro.underlay.network import Underlay, UnderlayConfig
 from repro.underlay.topology import TopologyConfig
@@ -186,11 +187,16 @@ def run_resilience_faults(
     settle_ms: float = 30_000.0,
     window_ms: float = 45_000.0,
     drain_ms: float = 60_000.0,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """Sweep fault scenarios for underlay-aware vs unaware Kademlia.
 
     ``smoke=True`` shrinks the population, workload, and scenario list to
-    a seconds-scale CI check with the identical code path.
+    a seconds-scale CI check with the identical code path.  The
+    (scenario × arm) cells — each an independent simulation over the
+    shared read-only underlay — fan out through
+    :func:`repro.runner.run_arms`; rows are identical at any worker
+    count because each cell derives its RNG from its grid position.
     """
     scenarios = FULL_SCENARIOS
     if smoke:
@@ -212,20 +218,32 @@ def run_resilience_faults(
         "RESILIENCE",
         "Lookup success & stretch under injected faults, aware vs unaware",
     )
-    for si, scenario in enumerate(scenarios):
-        for ai, (arm, config) in enumerate(ARMS):
-            cell = _run_arm(
-                underlay,
-                config,
-                scenario,
-                seed + 101 * si + 13 * ai,
-                n_publishes=n_publishes,
-                n_lookups=n_lookups,
-                settle_ms=settle_ms,
-                window_ms=window_ms,
-                drain_ms=drain_ms,
-            )
-            result.add_row(scenario=scenario, arm=arm, **cell)
+    grid = [
+        (si, scenario, ai, arm, config)
+        for si, scenario in enumerate(scenarios)
+        for ai, (arm, config) in enumerate(ARMS)
+    ]
+
+    def run_cell(cell_spec: tuple) -> dict[str, float]:
+        # the shared underlay is read-only substrate: forked workers
+        # inherit it, so no worker regenerates it
+        si, scenario, ai, _arm, config = cell_spec
+        return _run_arm(
+            underlay,
+            config,
+            scenario,
+            seed + 101 * si + 13 * ai,
+            n_publishes=n_publishes,
+            n_lookups=n_lookups,
+            settle_ms=settle_ms,
+            window_ms=window_ms,
+            drain_ms=drain_ms,
+        )
+
+    for (_si, scenario, _ai, arm, _config), cell in zip(
+        grid, run_arms(run_cell, grid, workers=workers)
+    ):
+        result.add_row(scenario=scenario, arm=arm, **cell)
     result.notes.append(
         "stretch baseline is the direct RTT to the content owner; values "
         "below 1 mean a replica closer than the owner served the lookup"

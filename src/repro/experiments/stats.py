@@ -1,0 +1,47 @@
+"""Tiny pure-python summary statistics for sweep aggregation.
+
+:func:`repro.experiments.common.repeat_over_seeds` aggregates a handful
+of numeric columns over a handful of seeds — importing numpy and paying
+array construction per column is pure overhead at that size, and the
+numpy path silently emits warnings on degenerate input.  These helpers
+are exact for the cases sweeps produce: ``fsum``-based, population
+variance (matching ``np.std``'s default ``ddof=0``), and a *single*
+sample yields a standard deviation of exactly ``0.0`` rather than
+anything NaN-prone.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["mean", "mean_std", "pstdev"]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (``fsum`` accumulation; raises on empty input)."""
+    if not values:
+        raise ValueError("mean() of empty sequence")
+    return math.fsum(values) / len(values)
+
+
+def pstdev(values: Sequence[float], *, mu: float | None = None) -> float:
+    """Population standard deviation (``ddof=0``, like ``np.std``).
+
+    A single sample has no spread: returns exactly ``0.0``, never NaN.
+    ``mu`` skips recomputing the mean when the caller already has it.
+    """
+    if not values:
+        raise ValueError("pstdev() of empty sequence")
+    if len(values) == 1:
+        return 0.0
+    m = mean(values) if mu is None else mu
+    var = math.fsum((v - m) ** 2 for v in values) / len(values)
+    # rounding can push a zero-spread variance infinitesimally negative
+    return math.sqrt(var) if var > 0.0 else 0.0
+
+
+def mean_std(values: Sequence[float]) -> tuple[float, float]:
+    """``(mean, population std)`` in one pass over the inputs."""
+    m = mean(values)
+    return m, pstdev(values, mu=m)

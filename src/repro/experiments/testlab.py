@@ -32,6 +32,7 @@ from repro.overlay.gnutella import (
     NeighborPolicy,
     ULTRAPEER,
 )
+from repro.runner import run_arms
 from repro.sim.engine import Simulation
 from repro.underlay.autonomous_system import AutonomousSystem, Tier
 from repro.underlay.geometry import Position
@@ -194,15 +195,32 @@ def run_testlab(
     topologies: Sequence[str] = TESTLAB_TOPOLOGIES,
     schemes: Sequence[str] = ("uniform", "variable"),
     seed: int = 5,
+    workers: int | None = None,
 ) -> ExperimentResult:
-    """Run the full testlab grid; returns one row per arm."""
+    """Run the full testlab grid; returns one row per arm.
+
+    The (topology × scheme × policy) grid fans out through
+    :func:`repro.runner.run_arms` — each cell builds its own underlay
+    and overlay, so arms are fully independent and the grid is
+    embarrassingly parallel; rows come back in grid order regardless of
+    worker count.
+    """
     result = ExperimentResult(
         "TESTLAB", "45-node Gnutella testlab: 5-AS topologies, oracle on/off"
     )
-    for kind in topologies:
-        for scheme in schemes:
-            for policy in (NeighborPolicy.UNBIASED, NeighborPolicy.BIASED):
-                result.add_row(**run_testlab_arm(kind, scheme, policy, seed=seed))
+    grid = [
+        (kind, scheme, policy)
+        for kind in topologies
+        for scheme in schemes
+        for policy in (NeighborPolicy.UNBIASED, NeighborPolicy.BIASED)
+    ]
+    rows = run_arms(
+        lambda arm: run_testlab_arm(arm[0], arm[1], arm[2], seed=seed),
+        grid,
+        workers=workers,
+    )
+    for row in rows:
+        result.add_row(**row)
     result.notes.append(
         "paper finding: the oracle reduces Query/QueryHit traffic on every "
         "topology without causing search failures"

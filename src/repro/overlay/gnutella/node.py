@@ -245,8 +245,7 @@ class GnutellaNode(OverlayNode):
         guid = self.network.next_guid()
         self._seen.add(("PING", guid))
         ping = Ping(guid=guid, ttl=self.config.ping_ttl, origin=self.host_id)
-        for nb in self._connected_peers():
-            self.send(nb, "PING", ping, PING_SIZE)
+        self.send_many(list(self._connected_peers()), "PING", ping, PING_SIZE)
 
     def _connected_peers(self) -> set[int]:
         return self.neighbors | self.leaves
@@ -267,9 +266,10 @@ class GnutellaNode(OverlayNode):
         # forward with decremented TTL (ultrapeers relay; leaves are edges)
         if ping.ttl > 1 and self.role == ULTRAPEER:
             fwd = ping.forwarded()
-            for nb in self._connected_peers():
-                if nb != msg.src:
-                    self.send(nb, "PING", fwd, PING_SIZE)
+            self.send_many(
+                [nb for nb in self._connected_peers() if nb != msg.src],
+                "PING", fwd, PING_SIZE,
+            )
 
     def on_pong(self, msg: Message) -> None:
         pong: Pong = msg.payload
@@ -334,9 +334,10 @@ class GnutellaNode(OverlayNode):
             self._route_hit(hit, via=from_peer)
         if query.ttl > 1 and self.role == ULTRAPEER:
             fwd = query.forwarded()
-            for nb in self.neighbors:
-                if nb != from_peer:
-                    self.send(nb, "QUERY", fwd, QUERY_SIZE)
+            self.send_many(
+                [nb for nb in self.neighbors if nb != from_peer],
+                "QUERY", fwd, QUERY_SIZE,
+            )
 
     def _route_hit(self, hit: QueryHit, via: Optional[int]) -> None:
         if via is None:

@@ -1,15 +1,26 @@
 """Discrete-event simulation engine.
 
-A minimal, deterministic event loop: events are ``(time, sequence, callback)``
-triples kept in a binary heap.  Ties in time are broken by insertion order,
-which makes runs bit-for-bit reproducible.  All protocol modules in
-:mod:`repro.overlay` run on top of this engine.
+A minimal, deterministic event loop: events are plain-list heap entries
+``[time, seq, callback, args, cancelled, fired]`` kept in a binary heap.
+Ties in time are broken by insertion order (the monotonically increasing
+``seq``), which makes runs bit-for-bit reproducible.  All protocol
+modules in :mod:`repro.overlay` run on top of this engine.
+
+The hot path is deliberately allocation-light: a heap entry is one list
+(no per-event object construction), :meth:`Simulation.run` inlines the
+pop/fire loop with the tracer check hoisted out into two specialised
+loop bodies, and :meth:`Simulation.schedule_many` batch-inserts fan-out
+events (one ``heapify`` instead of many ``heappush`` when the batch is
+large relative to the pending queue).
 
 Observability: inside an ``obs.observe()`` scope (or when a
 :class:`~repro.obs.tracing.Tracer` is attached explicitly) the engine
 emits ``schedule``/``fire``/``cancel`` trace events, with per-callback
 wall-clock timing on ``fire`` in the volatile ``_elapsed_s`` attribute.
-Without a tracer the only cost is one ``is None`` check per operation.
+Without a tracer the only cost is one ``is None`` check per schedule
+and none at all inside the :meth:`Simulation.run` loop — the tracer is
+sampled when ``run()`` starts, so attaching one mid-run takes effect
+from the next ``run()``/``step()`` call.
 
 Example
 -------
@@ -27,22 +38,20 @@ from __future__ import annotations
 import heapq
 import itertools
 import time as _time
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import SimulationError
 from repro.obs import active_tracer
 from repro.obs.tracing import Tracer
 
+# Heap-entry layout.  A plain list compares element-wise, so the heap
+# orders by (time, seq) and never reaches the non-comparable callback:
+# ``seq`` is unique.  Mutating CANCELLED/FIRED in place keeps
+# EventHandle.cancel() O(1) (lazy removal on pop).
+_TIME, _SEQ, _CALLBACK, _ARGS, _CANCELLED, _FIRED = range(6)
 
-@dataclass(order=True)
-class _Event:
-    time: float
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
-    fired: bool = field(compare=False, default=False)
+#: A scheduled-but-not-fired heap entry.
+_Entry = list
 
 
 def _callback_name(callback: Callable[..., None]) -> str:
@@ -60,23 +69,23 @@ class EventHandle:
     already fired is a harmless no-op and does not mark it cancelled.
     """
 
-    __slots__ = ("_event", "_sim")
+    __slots__ = ("_entry", "_sim")
 
-    def __init__(self, event: _Event, sim: "Optional[Simulation]" = None) -> None:
-        self._event = event
+    def __init__(self, entry: _Entry, sim: "Optional[Simulation]" = None) -> None:
+        self._entry = entry
         self._sim = sim
 
     @property
     def time(self) -> float:
-        return self._event.time
+        return self._entry[_TIME]
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self._entry[_CANCELLED]
 
     @property
     def fired(self) -> bool:
-        return self._event.fired
+        return self._entry[_FIRED]
 
     def cancel(self) -> bool:
         """Cancel the event if it has not fired yet.
@@ -84,19 +93,19 @@ class EventHandle:
         Returns ``True`` if this call actually cancelled it, ``False``
         for an event that already fired or was already cancelled.
         """
-        event = self._event
-        if event.fired or event.cancelled:
+        entry = self._entry
+        if entry[_FIRED] or entry[_CANCELLED]:
             return False
-        event.cancelled = True
+        entry[_CANCELLED] = True
         sim = self._sim
         if sim is not None and sim._tracer is not None:
             sim._tracer.emit(
                 "sim",
                 "cancel",
                 time=sim._now,
-                at=event.time,
-                seq=event.seq,
-                callback=_callback_name(event.callback),
+                at=entry[_TIME],
+                seq=entry[_SEQ],
+                callback=_callback_name(entry[_CALLBACK]),
             )
         return True
 
@@ -119,7 +128,7 @@ class Simulation:
         self, start_time: float = 0.0, *, tracer: Optional[Tracer] = None
     ) -> None:
         self._now = float(start_time)
-        self._heap: list[_Event] = []
+        self._heap: list[_Entry] = []
         self._seq = itertools.count()
         self._running = False
         self.events_processed = 0
@@ -136,7 +145,8 @@ class Simulation:
         return self._tracer
 
     def attach_tracer(self, tracer: Tracer) -> None:
-        """Start emitting trace events to ``tracer``."""
+        """Start emitting trace events to ``tracer`` (picked up by the
+        next ``run()``/``step()`` call)."""
         self._tracer = tracer
 
     def detach_tracer(self) -> None:
@@ -160,45 +170,93 @@ class Simulation:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
-        event = _Event(float(time), next(self._seq), callback, args)
-        heapq.heappush(self._heap, event)
+        entry: _Entry = [float(time), next(self._seq), callback, args, False, False]
+        heapq.heappush(self._heap, entry)
         if self._tracer is not None:
             self._tracer.emit(
                 "sim",
                 "schedule",
                 time=self._now,
-                at=event.time,
-                seq=event.seq,
+                at=entry[_TIME],
+                seq=entry[_SEQ],
                 callback=_callback_name(callback),
             )
-        return EventHandle(event, self)
+        return EventHandle(entry, self)
+
+    def schedule_many(
+        self, items: Iterable[tuple[float, Callable[..., None], tuple]]
+    ) -> list[EventHandle]:
+        """Batch-schedule ``(delay, callback, args)`` triples.
+
+        Semantically identical to calling :meth:`schedule` once per item
+        in order — sequence numbers (and therefore tie-breaking) follow
+        the iteration order, and the same trace events are emitted — but
+        a large batch is inserted with one ``heapify`` instead of a
+        ``heappush`` per event, which is what fan-out senders (message
+        broadcast, flooding) want.
+        """
+        now = self._now
+        seq = self._seq
+        entries: list[_Entry] = []
+        for delay, callback, args in items:
+            if delay < 0:
+                raise SimulationError(
+                    f"cannot schedule in the past (delay={delay})"
+                )
+            entries.append([now + delay, next(seq), callback, args, False, False])
+        if not entries:
+            return []
+        heap = self._heap
+        # heapify is O(n+m); m pushes are O(m log n).  Rebuild when the
+        # batch is big relative to what is already pending.
+        if len(entries) * 4 >= len(heap):
+            heap.extend(entries)
+            heapq.heapify(heap)
+        else:
+            push = heapq.heappush
+            for entry in entries:
+                push(heap, entry)
+        tracer = self._tracer
+        if tracer is not None:
+            for entry in entries:
+                tracer.emit(
+                    "sim",
+                    "schedule",
+                    time=now,
+                    at=entry[_TIME],
+                    seq=entry[_SEQ],
+                    callback=_callback_name(entry[_CALLBACK]),
+                )
+        return [EventHandle(entry, self) for entry in entries]
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][_CANCELLED]:
+            heapq.heappop(heap)
+        return heap[0][_TIME] if heap else None
 
     def step(self) -> bool:
         """Process a single event.  Returns ``False`` if the queue was empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            if entry[_CANCELLED]:
                 continue
-            self._now = event.time
-            event.fired = True
+            self._now = entry[_TIME]
+            entry[_FIRED] = True
             tracer = self._tracer
             if tracer is None:
-                event.callback(*event.args)
+                entry[_CALLBACK](*entry[_ARGS])
             else:
                 t0 = _time.perf_counter()
-                event.callback(*event.args)
+                entry[_CALLBACK](*entry[_ARGS])
                 tracer.emit(
                     "sim",
                     "fire",
-                    time=event.time,
-                    seq=event.seq,
-                    callback=_callback_name(event.callback),
+                    time=entry[_TIME],
+                    seq=entry[_SEQ],
+                    callback=_callback_name(entry[_CALLBACK]),
                     _elapsed_s=_time.perf_counter() - t0,
                 )
             self.events_processed += 1
@@ -221,26 +279,76 @@ class Simulation:
         if self._running:
             raise SimulationError("simulation is already running (reentrant run())")
         self._running = True
-        processed = 0
         completed = False
         try:
-            while True:
-                if max_events is not None and processed >= max_events:
-                    break
-                next_time = self.peek_time()
-                if next_time is None:
-                    completed = True
-                    break
-                if until is not None and next_time > until:
-                    completed = True
-                    break
-                self.step()
-                processed += 1
+            if self._tracer is None:
+                completed = self._run_plain(until, max_events)
+            else:
+                completed = self._run_traced(until, max_events)
         finally:
             self._running = False
         if completed and until is not None and until > self._now:
             self._now = float(until)
 
+    def _run_plain(
+        self, until: Optional[float], max_events: Optional[int]
+    ) -> bool:
+        """Untraced drain loop: no tracer logic on the per-event path."""
+        heap = self._heap
+        pop = heapq.heappop
+        processed = 0
+        while True:
+            if max_events is not None and processed >= max_events:
+                return False
+            while heap and heap[0][_CANCELLED]:
+                pop(heap)
+            if not heap:
+                return True
+            entry = heap[0]
+            if until is not None and entry[_TIME] > until:
+                return True
+            pop(heap)
+            self._now = entry[_TIME]
+            entry[_FIRED] = True
+            entry[_CALLBACK](*entry[_ARGS])
+            self.events_processed += 1
+            processed += 1
+
+    def _run_traced(
+        self, until: Optional[float], max_events: Optional[int]
+    ) -> bool:
+        """Traced drain loop: identical control flow plus fire events."""
+        heap = self._heap
+        pop = heapq.heappop
+        tracer = self._tracer
+        perf_counter = _time.perf_counter
+        processed = 0
+        while True:
+            if max_events is not None and processed >= max_events:
+                return False
+            while heap and heap[0][_CANCELLED]:
+                pop(heap)
+            if not heap:
+                return True
+            entry = heap[0]
+            if until is not None and entry[_TIME] > until:
+                return True
+            pop(heap)
+            self._now = entry[_TIME]
+            entry[_FIRED] = True
+            t0 = perf_counter()
+            entry[_CALLBACK](*entry[_ARGS])
+            tracer.emit(
+                "sim",
+                "fire",
+                time=entry[_TIME],
+                seq=entry[_SEQ],
+                callback=_callback_name(entry[_CALLBACK]),
+                _elapsed_s=perf_counter() - t0,
+            )
+            self.events_processed += 1
+            processed += 1
+
     def pending(self) -> int:
         """Number of pending (non-cancelled) events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return sum(1 for e in self._heap if not e[_CANCELLED])

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable, Optional, Protocol
+from typing import Any, Callable, Hashable, Optional, Protocol, Sequence
 
 import numpy as np
 
@@ -236,6 +236,79 @@ class MessageBus:
             return msg
         self._sim.schedule(delay, self._deliver, msg)
         return msg
+
+    def send_many(
+        self,
+        src: Hashable,
+        dsts: Sequence[Hashable],
+        kind: str,
+        payload: Any = None,
+        size_bytes: int = 64,
+        extra_delay: float = 0.0,
+    ) -> list[Message]:
+        """Send one message per destination, batch-scheduling delivery.
+
+        Semantically identical to calling :meth:`send` once per
+        destination in order — accounting, fault-hook calls, and loss
+        draws happen per message in destination order, so the observable
+        behaviour (including loss-RNG state and delivery tie-breaking)
+        is bit-for-bit the same — but surviving deliveries are inserted
+        with one :meth:`Simulation.schedule_many` call, which is what
+        flooding/broadcast fan-out wants.
+        """
+        if size_bytes < 0:
+            raise SimulationError(f"negative message size: {size_bytes}")
+        messages: list[Message] = []
+        batch: list[tuple[float, Callable[..., None], tuple]] = []
+        stats = self.stats
+        tracer = self._tracer
+        now = self._sim.now
+        for dst in dsts:
+            msg = Message(
+                src=src, dst=dst, kind=kind, payload=payload, size_bytes=size_bytes
+            )
+            messages.append(msg)
+            delay = self._latency.one_way_delay(src, dst) + extra_delay
+            stats.sent += 1
+            stats.bytes_sent += size_bytes
+            stats.by_kind[kind] = stats.by_kind.get(kind, 0) + 1
+            for obs in self._observers:
+                obs.observe(src, dst, size_bytes, kind)
+            if self._sent_ctr is not None:
+                self._sent_ctr.inc(kind=kind)
+                self._bytes_ctr.inc(size_bytes, kind=kind)
+            if tracer is not None:
+                tracer.emit(
+                    "bus", "send", time=now,
+                    src=src, dst=dst, kind=kind, size=size_bytes,
+                )
+            if self._fault_hook is not None:
+                penalty = self._fault_hook(src, dst, kind)
+                if penalty == math.inf:
+                    stats.dropped_fault += 1
+                    if self._dropped_ctr is not None:
+                        self._dropped_ctr.inc(reason="fault")
+                    if tracer is not None:
+                        tracer.emit(
+                            "bus", "drop", time=now,
+                            src=src, dst=dst, kind=kind, reason="fault",
+                        )
+                    continue
+                delay += penalty
+            if self._loss_rate and self._loss_rng.random() < self._loss_rate:
+                stats.dropped_loss += 1
+                if self._dropped_ctr is not None:
+                    self._dropped_ctr.inc(reason="loss")
+                if tracer is not None:
+                    tracer.emit(
+                        "bus", "drop", time=now,
+                        src=src, dst=dst, kind=kind, reason="loss",
+                    )
+                continue
+            batch.append((delay, self._deliver, (msg,)))
+        if batch:
+            self._sim.schedule_many(batch)
+        return messages
 
     def _deliver(self, msg: Message) -> None:
         handler = self._handlers.get(msg.dst)

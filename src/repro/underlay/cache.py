@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from collections import OrderedDict
 from dataclasses import asdict
 from pathlib import Path
@@ -151,16 +152,29 @@ class SubstrateCache:
             return False
 
     def _store_disk(self, key: str, underlay: Underlay) -> None:
+        """Write the entry atomically: concurrent sweep workers racing on
+        a cold cache must never observe a half-written ``.npz``.
+
+        Each writer uses a private temp name (pid-qualified, keeping the
+        ``.npz`` suffix or ``np.savez`` appends one) and publishes it
+        with an atomic ``rename``; readers therefore see either nothing
+        or a complete entry, and when several workers race the last
+        complete write wins — every candidate holds identical bytes, so
+        the race is benign.
+        """
         underlay.precompute()
-        # temp name must keep the .npz suffix or np.savez appends one
-        tmp = self._npz_path(key).with_suffix(".tmp.npz")
-        np.savez(
-            tmp,
-            as_hops=underlay.routing.hop_matrix(),
-            as_delay=underlay.latency.as_delay,
-            host_latency=underlay.latency_matrix,
-        )
-        tmp.replace(self._npz_path(key))
+        path = self._npz_path(key)
+        tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp.npz")
+        try:
+            np.savez(
+                tmp,
+                as_hops=underlay.routing.hop_matrix(),
+                as_delay=underlay.latency.as_delay,
+                host_latency=underlay.latency_matrix,
+            )
+            tmp.replace(path)
+        finally:
+            tmp.unlink(missing_ok=True)
 
 
 # -- process-wide default cache (opt-in) ------------------------------------

@@ -76,3 +76,52 @@ class TestRepeatOverSeeds:
         with pytest.raises(ValueError):
             repeat_over_seeds(_result, seeds=[], key_column="arm",
                               value_columns=["value"])
+
+
+class TestStatsHelpers:
+    """The pure-python aggregation helpers behind repeat_over_seeds."""
+
+    def test_mean_matches_numpy(self):
+        import numpy as np
+
+        from repro.experiments.stats import mean
+
+        vals = [1.5, 2.25, -3.0, 7.125]
+        assert mean(vals) == pytest.approx(float(np.mean(vals)), abs=0)
+
+    def test_pstdev_matches_numpy_ddof0(self):
+        import numpy as np
+
+        from repro.experiments.stats import pstdev
+
+        vals = [1.0, 2.0, 4.0, 8.0]
+        assert pstdev(vals) == pytest.approx(float(np.std(vals)))
+
+    def test_single_sample_std_is_exactly_zero(self):
+        from repro.experiments.stats import mean_std, pstdev
+
+        assert pstdev([3.25]) == 0.0
+        m, s = mean_std([3.25])
+        assert m == 3.25
+        assert s == 0.0  # exactly, not NaN / warning-prone
+
+    def test_zero_spread_std_is_exactly_zero(self):
+        from repro.experiments.stats import pstdev
+
+        # fsum keeps this exact even where naive accumulation drifts
+        assert pstdev([0.1] * 7) == 0.0
+
+    def test_empty_input_rejected(self):
+        from repro.experiments.stats import mean, pstdev
+
+        with pytest.raises(ValueError):
+            mean([])
+        with pytest.raises(ValueError):
+            pstdev([])
+
+    def test_single_seed_sweep_reports_zero_std(self):
+        agg = repeat_over_seeds(
+            _result, seeds=[1], key_column="arm", value_columns=["value"]
+        )
+        for row in agg.rows:
+            assert row["value_std"] == 0.0

@@ -7,6 +7,7 @@ import pytest
 
 PACKAGES = [
     "repro",
+    "repro.runner",
     "repro.sim",
     "repro.faults",
     "repro.underlay",

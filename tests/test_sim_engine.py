@@ -197,3 +197,125 @@ def test_events_processed_excludes_cancelled_events():
     # cancelled handles never flip to fired
     assert all(not h.fired for h in handles[::2])
     assert all(h.fired for h in handles[1::2])
+
+
+# -- schedule_many: batch insertion with schedule() semantics ----------------
+
+def test_schedule_many_matches_serial_schedule_order():
+    """A batch behaves exactly like schedule() called once per item:
+    time order first, then insertion (seq) order inside a tie."""
+    items = [(3.0, ("c",)), (1.0, ("a",)), (1.0, ("b",)), (0.0, ("z",))]
+
+    serial_order = []
+    sim_a = Simulation()
+    for delay, args in items:
+        sim_a.schedule(delay, serial_order.append, *args)
+    sim_a.run()
+
+    batch_order = []
+    sim_b = Simulation()
+    sim_b.schedule_many(
+        (delay, batch_order.append, args) for delay, args in items
+    )
+    sim_b.run()
+    assert batch_order == serial_order == ["z", "a", "b", "c"]
+
+
+def test_schedule_many_interleaves_with_schedule_on_ties():
+    """Seq assignment is global: a batch scheduled before a single event
+    at the same time fires first, and vice versa."""
+    sim = Simulation()
+    order = []
+    sim.schedule_many([(5.0, order.append, ("batch1",))])
+    sim.schedule(5.0, order.append, "single")
+    sim.schedule_many([(5.0, order.append, ("batch2",))])
+    sim.run()
+    assert order == ["batch1", "single", "batch2"]
+
+
+def test_schedule_many_empty_batch():
+    sim = Simulation()
+    assert sim.schedule_many([]) == []
+    assert sim.pending() == 0
+
+
+def test_schedule_many_rejects_negative_delay():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        sim.schedule_many([(1.0, lambda: None, ()), (-0.5, lambda: None, ())])
+
+
+def test_schedule_many_large_batch_onto_nonempty_heap():
+    """The heapify path (batch >> pending) must preserve the pending
+    events and the global ordering."""
+    sim = Simulation()
+    order = []
+    sim.schedule(2.5, order.append, "pending")
+    sim.schedule_many(
+        (float(i % 5), order.append, (i,)) for i in range(50)
+    )
+    sim.run()
+    expected = sorted(range(50), key=lambda i: (i % 5, i))
+    expected.insert(
+        sum(1 for i in range(50) if i % 5 <= 2), "pending"
+    )
+    assert order == expected
+    assert sim.events_processed == 51
+
+
+def test_schedule_many_handles_cancel_then_fire_ordering():
+    """O(1) lazy cancel on batch-scheduled events: cancelled entries are
+    skipped at pop time, survivors keep their tie-break order, and
+    fired/cancelled semantics match single-event handles."""
+    sim = Simulation()
+    order = []
+    handles = sim.schedule_many(
+        [(1.0, order.append, (i,)) for i in range(6)]
+    )
+    assert [h.cancel() for h in handles[::2]] == [True, True, True]
+    sim.run()
+    assert order == [1, 3, 5]
+    assert sim.events_processed == 3
+    for h in handles[::2]:
+        assert h.cancelled and not h.fired
+        assert h.cancel() is False  # idempotent after cancel
+    for h in handles[1::2]:
+        assert h.fired and not h.cancelled
+        assert h.cancel() is False  # and after fire
+
+
+def test_schedule_many_cancel_mid_run_before_fire():
+    """An event can cancel a later same-batch event before it fires."""
+    sim = Simulation()
+    order = []
+    handles = sim.schedule_many(
+        [(1.0, order.append, ("a",)), (2.0, order.append, ("b",))]
+    )
+    sim.schedule(1.5, handles[1].cancel)
+    sim.run()
+    assert order == ["a"]
+    assert handles[1].cancelled and not handles[1].fired
+
+
+def test_schedule_many_traces_like_schedule():
+    """Batch scheduling emits the same per-event trace records."""
+    from repro import obs
+
+    digests = []
+    for batched in (False, True):
+        with obs.observe() as session:
+            sim = Simulation()
+            if batched:
+                sim.schedule_many(
+                    [(1.0, _noop, ()), (2.0, _noop, ())]
+                )
+            else:
+                sim.schedule(1.0, _noop)
+                sim.schedule(2.0, _noop)
+            sim.run()
+        digests.append(session.tracer.digest())
+    assert digests[0] == digests[1]
+
+
+def _noop():
+    pass

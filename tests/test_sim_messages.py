@@ -113,3 +113,65 @@ def test_is_registered():
     assert not bus.is_registered("a")
     bus.register("a", lambda m: None)
     assert bus.is_registered("a")
+
+
+# -- send_many: batched fan-out with send() semantics ------------------------
+
+def test_send_many_equals_send_loop():
+    """Same deliveries, same times, same stats as a per-dst send loop."""
+    def fanout(batched):
+        sim = Simulation()
+        bus = MessageBus(sim, FixedLatency(2.0))
+        got = []
+        for dst in ("b", "c", "d"):
+            bus.register(dst, lambda m, d=dst: got.append((sim.now, d, m.payload)))
+        if batched:
+            bus.send_many("a", ["b", "c", "d"], "K", payload=9, size_bytes=10)
+        else:
+            for dst in ("b", "c", "d"):
+                bus.send("a", dst, "K", payload=9, size_bytes=10)
+        sim.run()
+        return got, bus.stats.sent, bus.stats.bytes_sent, dict(bus.stats.by_kind)
+
+    assert fanout(True) == fanout(False)
+
+
+def test_send_many_loss_rng_draw_order_matches_send():
+    """Loss draws happen per destination in order: the survivor set is
+    bit-identical to the serial send loop with the same loss seed."""
+    def survivors(batched):
+        sim = Simulation()
+        bus = MessageBus(sim, FixedLatency(1.0), loss_rate=0.5, loss_seed=7)
+        got = []
+        dsts = [f"n{i}" for i in range(12)]
+        for dst in dsts:
+            bus.register(dst, lambda m: got.append(m.dst))
+        if batched:
+            bus.send_many("src", dsts, "K")
+        else:
+            for dst in dsts:
+                bus.send("src", dst, "K")
+        sim.run()
+        return got, bus.stats.dropped_loss
+
+    batched, serial = survivors(True), survivors(False)
+    assert batched == serial
+    assert 0 < batched[1] < 12  # the loss model actually bit
+
+
+def test_send_many_returns_messages_and_observers_fire():
+    sim = Simulation()
+    bus = MessageBus(sim, FixedLatency(1.0))
+    rec = Recorder()
+    bus.add_observer(rec)
+    msgs = bus.send_many("a", ["b", "c"], "K", size_bytes=32)
+    assert [m.dst for m in msgs] == ["b", "c"]
+    assert rec.seen == [("a", "b", 32, "K"), ("a", "c", 32, "K")]
+
+
+def test_send_many_empty_and_negative_size():
+    sim = Simulation()
+    bus = MessageBus(sim, FixedLatency(1.0))
+    assert bus.send_many("a", [], "K") == []
+    with pytest.raises(SimulationError):
+        bus.send_many("a", ["b"], "K", size_bytes=-1)

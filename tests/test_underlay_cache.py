@@ -192,3 +192,54 @@ def test_cached_generate_through_default_cache():
     assert cache.hits == 1
     disable_default_cache()
     assert default_cache() is None
+
+
+# -- concurrent writers (atomic disk publication) ----------------------------
+
+
+def _race_writer(disk_dir, barrier, out_queue):
+    """Child process: cold cache, generate + publish the SMALL entry."""
+    try:
+        barrier.wait(timeout=30)
+        cache = SubstrateCache(disk_dir=disk_dir)
+        underlay = cache.get_or_generate(SMALL)
+        out_queue.put(("ok", float(underlay.latency_matrix[0, 1])))
+    except BaseException as exc:  # pragma: no cover - failure reporting
+        out_queue.put(("err", repr(exc)))
+
+
+def test_two_processes_racing_on_one_disk_dir(tmp_path):
+    """Two cold processes generate and store the same substrate at once;
+    the atomic rename publication means neither can observe (or leave
+    behind) a half-written ``.npz``."""
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(2)
+    out_queue = ctx.Queue()
+    procs = [
+        ctx.Process(target=_race_writer, args=(tmp_path, barrier, out_queue))
+        for _ in range(2)
+    ]
+    for p in procs:
+        p.start()
+    outcomes = [out_queue.get(timeout=120) for _ in procs]
+    for p in procs:
+        p.join(timeout=30)
+    assert [status for status, _ in outcomes] == ["ok", "ok"], outcomes
+    assert outcomes[0][1] == outcomes[1][1]  # same substrate either way
+
+    # exactly one published entry, no temp residue
+    entries = sorted(f.name for f in tmp_path.iterdir())
+    assert entries == [f"substrate-{substrate_digest(SMALL)}.npz"]
+
+    # and the survivor is complete: a cold reader warms from it without
+    # falling back to a rebuild
+    with obs.observe() as session:
+        reader = SubstrateCache(disk_dir=tmp_path)
+        warmed = reader.get_or_generate(SMALL)
+    direct = Underlay.generate(SMALL)
+    assert np.array_equal(warmed.latency_matrix, direct.latency_matrix)
+    assert session.registry.get(CACHE_COUNTER).value(
+        kind="substrate_disk", event="hit"
+    ) == 1.0
