@@ -1,0 +1,62 @@
+"""CI guard: fail when batched selection ranking regresses by >3x.
+
+Times a 1000-candidate ``LatencySelection.rank`` over a warm substrate
+(best of N runs — the latency matrix is prebuilt, so this isolates the
+selection engine: dedup, row gather, stable argsort) and compares it
+against the loose floor recorded in ``selection_floor.json``.  The 3x
+headroom means only a real complexity regression trips it — normal
+machine-to-machine noise does not.
+
+Usage:  PYTHONPATH=src python benchmarks/check_selection_floor.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.core.selection import LatencySelection
+from repro.underlay import Underlay, UnderlayConfig
+
+HERE = pathlib.Path(__file__).resolve().parent
+REGRESSION_FACTOR = 3.0
+REPEATS = 7
+
+
+def main() -> int:
+    floor_ms = json.loads(
+        (HERE / "selection_floor.json").read_text()
+    )["latency_rank_1000_ms"]
+
+    underlay = Underlay.generate(UnderlayConfig(n_hosts=1100, seed=9)).precompute()
+    sel = LatencySelection.from_underlay(underlay)
+    ids = underlay.host_ids()
+    cand = [int(c) for c in np.random.default_rng(0).choice(ids[1:], 1000, replace=False)]
+    querier = ids[0]
+
+    sel.rank(querier, cand)  # warm caches/imports
+    best = min(
+        _timed(lambda: sel.rank(querier, cand)) for _ in range(REPEATS)
+    )
+    best_ms = best * 1e3
+    limit_ms = REGRESSION_FACTOR * floor_ms
+    verdict = "OK" if best_ms <= limit_ms else "REGRESSION"
+    print(
+        f"LatencySelection.rank(1000 candidates, warm): {best_ms:.2f} ms "
+        f"(floor {floor_ms:.2f} ms, limit {limit_ms:.2f} ms) -> {verdict}"
+    )
+    return 0 if best_ms <= limit_ms else 1
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,11 +16,12 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from repro.collection.base import CollectionMethod, InfoSource, UnderlayInfoType
+from repro.coords.base import row_norms
 from repro.coords.vivaldi import VivaldiConfig, VivaldiNode
 from repro.errors import CollectionError
 from repro.rng import SeedLike, ensure_rng
@@ -64,6 +65,7 @@ class VivaldiGossipService(InfoSource):
         self._pending: dict[int, tuple[int, float]] = {}  # probe id -> (host, t0)
         self._probe_seq = itertools.count()
         self.samples_processed = 0
+        self._update_listeners: list[Callable[[int], None]] = []
         for hid in self.participants:
             self.nodes[hid] = VivaldiNode(self.config, self._rng)
             bus.register(("viv", hid), self._on_message)
@@ -135,6 +137,14 @@ class VivaldiGossipService(InfoSource):
             remote.error = msg.payload["error"]
             self.nodes[me].update(rtt, remote)
             self.samples_processed += 1
+            for listener in self._update_listeners:
+                listener(me)
+
+    def add_update_listener(self, listener: Callable[[int], None]) -> None:
+        """Call ``listener(host_id)`` after every coordinate update —
+        the invalidation signal for score caches built on these
+        estimates (a moved coordinate re-ranks every list it scored)."""
+        self._update_listeners.append(listener)
 
     # -- queries ------------------------------------------------------------------
     def estimate(self, host_a: int, host_b: int) -> float:
@@ -143,6 +153,22 @@ class VivaldiGossipService(InfoSource):
             return self.nodes[host_a].distance_to(self.nodes[host_b])
         except KeyError:
             raise CollectionError("host is not a Vivaldi participant") from None
+
+    def estimate_many(self, host_a: int, host_bs: Sequence[int]) -> np.ndarray:
+        """Batched :meth:`estimate` over live participant coordinates:
+        one position gather + one stacked norm, heights added in the
+        scalar operation order (values bit-identical entry by entry)."""
+        try:
+            node = self.nodes[host_a]
+            others = [self.nodes[b] for b in host_bs]
+        except KeyError:
+            raise CollectionError("host is not a Vivaldi participant") from None
+        if not others:
+            return np.zeros(0)
+        positions = np.array([o.position for o in others])
+        d = row_norms(node.position[None, :] - positions)
+        heights = np.array([o.height for o in others])
+        return (d + node.height) + heights
 
     def estimated_matrix(self) -> np.ndarray:
         n = len(self.participants)

@@ -20,12 +20,13 @@ would.
 from __future__ import annotations
 
 import enum
+import heapq
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.collection.base import CollectionMethod, InfoSource, UnderlayInfoType
-from repro.errors import CollectionError
+from repro.errors import CollectionError, RoutingError
 from repro.obs.registry import MetricRegistry
 from repro.rng import SeedLike, ensure_rng
 from repro.underlay.network import Underlay
@@ -89,18 +90,17 @@ class ISPOracle(InfoSource):
     def method(self) -> CollectionMethod:
         return CollectionMethod.ISP_COMPONENT_IN_NETWORK
 
-    def rank(
-        self,
-        querying_host: int,
-        candidates: Sequence[int],
-        *,
-        limit: Optional[int] = None,
-    ) -> list[int]:
-        """Return ``candidates`` sorted by AS-hop distance from the querier.
+    def _keyed(
+        self, querying_host: int, candidates: Sequence[int], limit: Optional[int]
+    ) -> list[tuple]:
+        """Charge one ranking request and build the policy-keyed tuples.
 
-        ``limit`` caps the size of the list the peer is willing to send —
-        the "list size 100 / 1000" parameter in the Gnutella experiments
-        of [1].  Ranking cost is charged per candidate actually examined.
+        The hop lookups are one row gather (``hops_row`` + fancy index)
+        instead of a routing call per candidate, and the policy branch is
+        taken once per list, not once per candidate.  Key values, tie
+        order, overhead charge, counters, and the jitter draw (one
+        ``rng.random(len(cand))`` call) are identical to the retained
+        :meth:`rank_reference` path.
         """
         if limit is not None and limit < 1:
             raise CollectionError("limit must be >= 1 when given")
@@ -117,12 +117,116 @@ class ISPOracle(InfoSource):
         self.overhead.charge(
             queries=1, messages=2, bytes_on_wire=64 + 8 * len(cand)
         )
+        asns = self.underlay.asns_of(cand)
+        hop_row = self.underlay.routing.hops_row(my_asn)
+        hops = hop_row[asns] if len(cand) else np.empty(0, dtype=np.int64)
+        if len(cand) and (hops < 0).any():
+            bad = int(np.argmax(hops < 0))
+            raise RoutingError(
+                f"no valley-free route AS{my_asn} -> AS{int(asns[bad])}"
+            )
+        if self.policy is OraclePolicy.COOPERATIVE:
+            # the ISP knows its subscribers' plans: break hop ties
+            # toward the strongest candidate
+            keyed = [
+                (
+                    (int(h), -self.underlay.host(c).resources.capacity_score()),
+                    idx,
+                    c,
+                )
+                for idx, (c, h) in enumerate(zip(cand, hops))
+            ]
+        elif self.policy is OraclePolicy.HONEST:
+            keyed = [
+                ((int(h),), idx, c)
+                for idx, (c, h) in enumerate(zip(cand, hops))
+            ]
+        else:  # MALICIOUS: farthest first
+            keyed = [
+                ((-int(h),), idx, c)
+                for idx, (c, h) in enumerate(zip(cand, hops))
+            ]
+        if self._rng is not None:
+            # shuffle within equal-key tiers
+            jitter = self._rng.random(len(keyed))
+            keyed = [
+                (key, float(j), c) for (key, _idx, c), j in zip(keyed, jitter)
+            ]
+        return keyed
+
+    def rank(
+        self,
+        querying_host: int,
+        candidates: Sequence[int],
+        *,
+        limit: Optional[int] = None,
+    ) -> list[int]:
+        """Return ``candidates`` sorted by AS-hop distance from the querier.
+
+        ``limit`` caps the size of the list the peer is willing to send —
+        the "list size 100 / 1000" parameter in the Gnutella experiments
+        of [1].  Ranking cost is charged per candidate actually examined.
+        """
+        keyed = self._keyed(querying_host, candidates, limit)
+        keyed.sort(key=lambda t: (t[0], t[1]))
+        return [c for _k, _i, c in keyed]
+
+    def top_k(
+        self,
+        querying_host: int,
+        candidates: Sequence[int],
+        k: int,
+        *,
+        limit: Optional[int] = None,
+    ) -> list[int]:
+        """The ``k`` best-ranked candidates — ``rank(...)[:k]`` without
+        the full sort (``heapq.nsmallest`` single scan over the keyed
+        list).  The overhead charge is that of ranking the whole list:
+        the peer still ships its entire hostcache to the service."""
+        if k < 0:
+            raise CollectionError("k must be non-negative")
+        keyed = self._keyed(querying_host, candidates, limit)
+        if k == 0:
+            return []
+        best = heapq.nsmallest(k, keyed, key=lambda t: (t[0], t[1]))
+        return [c for _k, _i, c in best]
+
+    def best(
+        self, querying_host: int, candidates: Sequence[int]
+    ) -> Optional[int]:
+        """Top-ranked candidate, or ``None`` for an empty list — one scan
+        through the keyed list via :meth:`top_k`, never a full sort."""
+        top = self.top_k(querying_host, candidates, 1)
+        return top[0] if top else None
+
+    def rank_reference(
+        self,
+        querying_host: int,
+        candidates: Sequence[int],
+        *,
+        limit: Optional[int] = None,
+    ) -> list[int]:
+        """Retained per-candidate reference ranking (one routing call per
+        candidate, full sort) — the equivalence baseline for the batch
+        path.  Charges and counts exactly like :meth:`rank`."""
+        if limit is not None and limit < 1:
+            raise CollectionError("limit must be >= 1 when given")
+        cand = list(candidates)
+        if limit is not None:
+            cand = cand[:limit]
+        my_asn = self.underlay.asn_of(querying_host)
+        self.lists_ranked += 1
+        self.candidates_ranked += len(cand)
+        if self._lists_ctr is not None:
+            self._lists_ctr.inc()
+            self._candidates_ctr.inc(len(cand))
+        self.overhead.charge(
+            queries=1, messages=2, bytes_on_wire=64 + 8 * len(cand)
+        )
         keyed = []
         for idx, c in enumerate(cand):
             hops = self.underlay.routing.hops(my_asn, self.underlay.asn_of(c))
             if self.policy is OraclePolicy.COOPERATIVE:
-                # the ISP knows its subscribers' plans: break hop ties
-                # toward the strongest candidate
                 capacity = self.underlay.host(c).resources.capacity_score()
                 key = (hops, -capacity)
             elif self.policy is OraclePolicy.HONEST:
@@ -131,20 +235,12 @@ class ISPOracle(InfoSource):
                 key = (-hops,)
             keyed.append((key, idx, c))
         if self._rng is not None:
-            # shuffle within equal-key tiers
             jitter = self._rng.random(len(keyed))
             keyed = [
                 (key, float(j), c) for (key, _idx, c), j in zip(keyed, jitter)
             ]
         keyed.sort(key=lambda t: (t[0], t[1]))
         return [c for _k, _i, c in keyed]
-
-    def best(
-        self, querying_host: int, candidates: Sequence[int]
-    ) -> Optional[int]:
-        """Top-ranked candidate, or ``None`` for an empty list."""
-        ranked = self.rank(querying_host, candidates)
-        return ranked[0] if ranked else None
 
     def same_as_candidates(
         self, querying_host: int, candidates: Sequence[int]

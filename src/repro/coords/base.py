@@ -5,7 +5,9 @@ small number of explicit measurements.  All systems here consume *RTT-like*
 distances (symmetric, non-negative) and expose
 
 - per-node coordinates,
-- an ``estimate(i, j)`` pairwise predictor, and
+- an ``estimate(i, j)`` pairwise predictor,
+- a batched ``estimate_many(src, dsts)`` for one-to-many prediction
+  (the shape every neighbour ranker needs), and
 - an ``estimated_matrix()`` convenience for evaluation.
 """
 
@@ -31,6 +33,23 @@ def validate_distance_matrix(d: np.ndarray, *, name: str = "distance matrix") ->
     return d
 
 
+def row_norms(diff: np.ndarray) -> np.ndarray:
+    """Euclidean norm of each row, bit-identical to per-row
+    ``np.linalg.norm(row)``.
+
+    The scalar norm is ``sqrt(dot(v, v))`` through the BLAS dot kernel;
+    elementwise ``sqrt(sum(d*d))`` (or ``einsum``) can differ by an ulp
+    because the reduction order differs.  A stacked (m, 1, dim) @
+    (m, dim, 1) matmul runs the *same* dot kernel per row, so batched
+    coordinate estimates reproduce the scalar path exactly — the
+    equivalence tests assert ``==``, not ``allclose``.
+    """
+    diff = np.asarray(diff, dtype=float)
+    if diff.size == 0:
+        return np.zeros(diff.shape[0])
+    return np.sqrt(np.matmul(diff[:, None, :], diff[:, :, None]).ravel())
+
+
 class CoordinateSystem(abc.ABC):
     """Abstract pairwise-latency predictor."""
 
@@ -41,6 +60,15 @@ class CoordinateSystem(abc.ABC):
     @abc.abstractmethod
     def estimate(self, i: int, j: int) -> float:
         """Predicted distance between nodes ``i`` and ``j``."""
+
+    def estimate_many(self, src: int, dsts: Sequence[int]) -> np.ndarray:
+        """Predicted distance from ``src`` to each of ``dsts``.
+
+        The default loops over :meth:`estimate`; concrete systems
+        override it with one vectorised evaluation over the destination
+        coordinate array, value-identical entry by entry.
+        """
+        return np.array([self.estimate(src, j) for j in dsts], dtype=float)
 
     def estimated_matrix(self) -> np.ndarray:
         """All-pairs predicted distances (default: Euclidean on coords)."""

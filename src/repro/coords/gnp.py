@@ -23,7 +23,11 @@ from typing import Optional, Sequence
 import numpy as np
 from scipy import optimize
 
-from repro.coords.base import CoordinateSystem, validate_distance_matrix
+from repro.coords.base import (
+    CoordinateSystem,
+    row_norms,
+    validate_distance_matrix,
+)
 from repro.errors import ConfigurationError, CoordinateError
 
 
@@ -122,6 +126,15 @@ class GNPSystem(CoordinateSystem):
         return float(
             np.linalg.norm(self.landmark_coords[i] - self.landmark_coords[j])
         )
+
+    def estimate_many(self, src: int, dsts: Sequence[int]) -> np.ndarray:
+        """Batched :meth:`estimate` — one stacked norm over the gathered
+        landmark coordinates (bit-identical to the scalar path)."""
+        dst_list = [int(j) for j in dsts]
+        if not dst_list:
+            return np.zeros(0)
+        diff = self.landmark_coords[src][None, :] - self.landmark_coords[dst_list]
+        return row_norms(diff)
 
     @staticmethod
     def distance(x: np.ndarray, y: np.ndarray) -> float:

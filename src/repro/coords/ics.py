@@ -30,7 +30,11 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.coords.base import CoordinateSystem, validate_distance_matrix
+from repro.coords.base import (
+    CoordinateSystem,
+    row_norms,
+    validate_distance_matrix,
+)
 from repro.errors import ConfigurationError, CoordinateError
 
 
@@ -142,6 +146,15 @@ class ICS(CoordinateSystem):
 
     def estimate(self, i: int, j: int) -> float:
         return self.distance(self.beacon_coords[i], self.beacon_coords[j])
+
+    def estimate_many(self, src: int, dsts: Sequence[int]) -> np.ndarray:
+        """Batched :meth:`estimate` — one stacked norm over the gathered
+        beacon coordinates (bit-identical to the scalar path)."""
+        dst_list = [int(j) for j in dsts]
+        if not dst_list:
+            return np.zeros(0)
+        diff = self.beacon_coords[src][None, :] - self.beacon_coords[dst_list]
+        return row_norms(diff)
 
 
 #: The beacon distance matrix behind the paper's Examples 1/4/5 (Figure 4

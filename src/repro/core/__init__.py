@@ -10,6 +10,7 @@ from repro.core.qos import (
     REAL_TIME,
     QoSProfile,
 )
+from repro.core.score_cache import CachedSelection, ScoreCache
 from repro.core.selection import (
     CompositeSelection,
     GeoSelection,
@@ -18,6 +19,7 @@ from repro.core.selection import (
     NeighborSelection,
     RandomSelection,
     ResourceSelection,
+    ScoredSelection,
 )
 from repro.core.taxonomy import (
     TABLE1_SYSTEMS,
@@ -29,6 +31,7 @@ from repro.core.taxonomy import (
 
 __all__ = [
     "BUILTIN_PROFILES",
+    "CachedSelection",
     "CompositeSelection",
     "FILE_SHARING",
     "GeoSelection",
@@ -42,6 +45,8 @@ __all__ = [
     "REAL_TIME",
     "RandomSelection",
     "ResourceSelection",
+    "ScoreCache",
+    "ScoredSelection",
     "SystemEntry",
     "TABLE1_SYSTEMS",
     "UnderlayAwarenessFramework",

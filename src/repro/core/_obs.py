@@ -1,0 +1,54 @@
+"""Observability helpers for the selection layer.
+
+Selection strategies and score caches are plain objects that outlive any
+single ``obs.observe()`` scope (a selector built once serves every query
+of an experiment), so — like the underlay substrate — metrics look up
+the active registry at *event* time and are a no-op outside a scope.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs import active_registry
+
+#: Counter of score-cache events, labelled by ``selector`` (the strategy
+#: name) and ``event`` (``hit`` / ``miss`` / ``invalidate``).
+CACHE_COUNTER = "selection_cache_hits_total"
+
+#: Histogram of wall-clock seconds spent ranking candidate lists,
+#: labelled by ``selector``.
+RANK_SECONDS = "selection_rank_seconds"
+
+
+def note_cache_event(selector: str, event: str) -> None:
+    """Record one score-cache hit/miss/invalidate on the active registry
+    (no-op outside an observation scope)."""
+    reg = active_registry()
+    if reg is None:
+        return
+    reg.counter(
+        CACHE_COUNTER,
+        "Selection score-cache events (hit / miss / invalidate).",
+        ("selector", "event"),
+    ).inc(selector=selector, event=event)
+
+
+@contextmanager
+def timed_rank(selector: str) -> Iterator[None]:
+    """Time one ranking call and record it on the active registry."""
+    reg = active_registry()
+    if reg is None:
+        yield
+        return
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        reg.histogram(
+            RANK_SECONDS,
+            "Wall-clock seconds spent ranking candidate lists.",
+            ("selector",),
+        ).observe(time.perf_counter() - t0, selector=selector)

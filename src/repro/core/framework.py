@@ -76,10 +76,21 @@ class UnderlayAwarenessFramework:
         self._sources.append(mapping)
 
     def use_coordinates(
-        self, predictor: Callable[[int, int], float], source: Optional[InfoSource] = None
+        self,
+        predictor: Callable[[int, int], float],
+        source: Optional[InfoSource] = None,
+        *,
+        batch_predictor: Optional[Callable] = None,
     ) -> None:
-        """Latency via a prediction method (e.g. Vivaldi/ICS estimate)."""
-        self._strategies[UnderlayInfoType.LATENCY] = LatencySelection(predictor)
+        """Latency via a prediction method (e.g. Vivaldi/ICS estimate).
+
+        ``batch_predictor(src, candidates) -> array`` (e.g. the system's
+        ``estimate_many``) lets rankings evaluate all candidates in one
+        vectorised call; it must agree with ``predictor`` value for value.
+        """
+        self._strategies[UnderlayInfoType.LATENCY] = LatencySelection(
+            predictor, batch_predictor=batch_predictor
+        )
         if source is not None:
             self._sources.append(source)
 
@@ -92,9 +103,10 @@ class UnderlayAwarenessFramework:
 
     def use_true_latency(self) -> None:
         """Latency from the underlay itself — the zero-error upper bound,
-        useful as an experimental control."""
-        self._strategies[UnderlayInfoType.LATENCY] = LatencySelection(
-            lambda a, b: 2.0 * self.underlay.one_way_delay(a, b)
+        useful as an experimental control.  Batched: one latency-matrix
+        row gather per ranked list."""
+        self._strategies[UnderlayInfoType.LATENCY] = LatencySelection.from_underlay(
+            self.underlay
         )
 
     def use_gps(self, gps: GPSService) -> None:
@@ -112,18 +124,15 @@ class UnderlayAwarenessFramework:
     def use_skyeye(self, sky: SkyEyeOverlay) -> None:
         """Peer resources via the information management overlay.  Uses the
         capacity scores reported in the last aggregation round."""
-        def capacity_of(host_id: int) -> float:
-            return self.underlay.host(host_id).resources.capacity_score()
-
-        self._strategies[UnderlayInfoType.PEER_RESOURCES] = ResourceSelection(
-            capacity_of
+        self._strategies[UnderlayInfoType.PEER_RESOURCES] = (
+            ResourceSelection.from_underlay(self.underlay)
         )
         self._sources.append(sky)
 
     def use_resource_records(self) -> None:
         """Peer resources straight from host records (control condition)."""
-        self._strategies[UnderlayInfoType.PEER_RESOURCES] = ResourceSelection(
-            lambda hid: self.underlay.host(hid).resources.capacity_score()
+        self._strategies[UnderlayInfoType.PEER_RESOURCES] = (
+            ResourceSelection.from_underlay(self.underlay)
         )
 
     # -- queries ---------------------------------------------------------------------
@@ -161,6 +170,15 @@ class UnderlayAwarenessFramework:
     ) -> list[int]:
         """The framework's single entry point for overlays."""
         return self.selector_for(profile).select(querying_host, candidates, k)
+
+    def cached_selector_for(self, profile: QoSProfile, cache=None):
+        """A profile's composite selector wrapped in a
+        :class:`~repro.core.score_cache.CachedSelection`.  Hold on to the
+        returned selector (each call builds a fresh wrapper) and wire the
+        cache's ``watch_*`` hooks to whatever moves the underlay."""
+        from repro.core.score_cache import CachedSelection
+
+        return CachedSelection(self.selector_for(profile), cache)
 
     def baseline_selector(self, rng=None) -> NeighborSelection:
         """Underlay-oblivious control."""

@@ -1,0 +1,217 @@
+"""Invalidation-aware caching for neighbour-selection rankings.
+
+A selector's ranking for ``(querier, candidate list)`` is pure as long as
+the underlay information it reads stands still.  Overlay maintenance
+re-ranks the *same* lists constantly (routing-table refreshes, periodic
+neighbour re-evaluation), so :class:`ScoreCache` memoises ranked lists
+and :class:`CachedSelection` wraps any strategy with it transparently.
+
+What makes the cache honest is the invalidation story: a cached ranking
+is only valid until the underlay moves.  Three signals drop the cache —
+
+- **churn arrivals** (:meth:`ScoreCache.watch_churn`) — a new peer
+  changes candidate sets and, through them, rankings;
+- **coordinate-system ticks** (:meth:`ScoreCache.watch_coordinates`) —
+  every Vivaldi update moves a coordinate that previous scores baked in;
+- **mobility updates** (:meth:`ScoreCache.note_mobility`) — positional
+  re-homing from a mobility trace (the traces are offline timelines, so
+  the replaying experiment calls this as it applies each step).
+
+Randomised strategies (``RandomSelection``, an oracle with tier-shuffle
+jitter) are *refused* by :class:`CachedSelection`: replaying a cached
+ranking would skip their RNG draws and silently change every later draw
+in the experiment.
+
+Cache traffic lands on the ``selection_cache_hits_total`` counter and
+miss-path ranking time on ``selection_rank_seconds`` (no-ops outside an
+``obs.observe()`` scope; the registry is looked up at event time because
+selectors outlive observation scopes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core._obs import note_cache_event, timed_rank
+from repro.core.selection import NeighborSelection, _dedup
+from repro.errors import ConfigurationError
+
+#: ``k`` slot used for full-ranking entries.
+_FULL = -1
+
+
+def _has_rng(strategy: NeighborSelection) -> bool:
+    """True when ranking draws randomness (directly, via an oracle with
+    jitter, or through any composite component)."""
+    if getattr(strategy, "_rng", None) is not None:
+        return True
+    oracle = getattr(strategy, "oracle", None)
+    if oracle is not None and getattr(oracle, "_rng", None) is not None:
+        return True
+    for component, _weight in getattr(strategy, "components", ()):
+        if _has_rng(component):
+            return True
+    return False
+
+
+class ScoreCache:
+    """Seeded LRU of ranked candidate lists, dropped on underlay change.
+
+    Entries are keyed on ``(selector identity, querying host, candidate
+    digest, k)``.  The digest is a keyed blake2b over the *ordered*
+    candidate ids — order matters because tie-breaking follows input
+    position, so the same set in a different order is a different
+    ranking.  The ``seed`` keys the hash, so two caches with different
+    seeds never share digests (and a digest collision cannot be
+    reproduced across differently-seeded runs).
+    """
+
+    def __init__(self, *, seed: int = 0, maxsize: int = 1024) -> None:
+        if maxsize < 1:
+            raise ConfigurationError("maxsize must be >= 1")
+        self.seed = int(seed)
+        self.maxsize = maxsize
+        self._key = self.seed.to_bytes(8, "little", signed=True)
+        self._store: OrderedDict[tuple, list[int]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def candidate_digest(self, candidates: Sequence[int]) -> str:
+        """Keyed digest of the ordered candidate id list (hashed as one
+        int64 buffer, so a hit costs far less than the ranking it saves)."""
+        h = hashlib.blake2b(key=self._key, digest_size=16)
+        h.update(np.asarray(candidates, dtype=np.int64).tobytes())
+        return h.hexdigest()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    # -- lookup / store ------------------------------------------------------
+    def lookup(
+        self,
+        selector: str,
+        querying_host: int,
+        candidates: Sequence[int],
+        k: int = _FULL,
+        *,
+        label: Optional[str] = None,
+    ) -> Optional[list[int]]:
+        """The cached ranking, or ``None``.  Returns a fresh list — the
+        stored entry is never handed out for mutation.  ``label``
+        overrides the metric label (defaults to ``selector``, which may
+        carry an instance qualifier unsuited to metric cardinality)."""
+        key = (selector, querying_host, self.candidate_digest(candidates), k)
+        entry = self._store.get(key)
+        if entry is None:
+            self.misses += 1
+            note_cache_event(label or selector, "miss")
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        note_cache_event(label or selector, "hit")
+        return list(entry)
+
+    def store(
+        self,
+        selector: str,
+        querying_host: int,
+        candidates: Sequence[int],
+        ranked: Sequence[int],
+        k: int = _FULL,
+    ) -> None:
+        key = (selector, querying_host, self.candidate_digest(candidates), k)
+        self._store[key] = list(ranked)
+        self._store.move_to_end(key)
+        while len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+
+    # -- invalidation --------------------------------------------------------
+    def invalidate(self, reason: str = "manual") -> None:
+        """Drop every entry (the underlay moved under the scores)."""
+        self._store.clear()
+        self.invalidations += 1
+        note_cache_event(reason, "invalidate")
+
+    def watch_churn(self, churn) -> None:
+        """Invalidate on every churn arrival: a joining peer changes the
+        candidate population (wraps the process's ``on_join`` callback,
+        preserving the original)."""
+        original = churn._on_join
+
+        def on_join(peer):
+            self.invalidate("churn")
+            original(peer)
+
+        churn._on_join = on_join
+
+    def watch_coordinates(self, service) -> None:
+        """Invalidate on every coordinate update of a live coordinate
+        service (``add_update_listener`` protocol — e.g.
+        :class:`~repro.collection.coordinate_service.VivaldiGossipService`)."""
+        service.add_update_listener(lambda _host: self.invalidate("coordinates"))
+
+    def note_mobility(self, host_id: Optional[int] = None) -> None:
+        """Invalidate after applying a mobility-trace step (traces are
+        offline timelines, so the replayer signals each re-homing)."""
+        self.invalidate("mobility")
+
+
+class CachedSelection(NeighborSelection):
+    """Wrap a deterministic strategy with a :class:`ScoreCache`.
+
+    ``rank``/``top_k``/``select`` hit the cache; ``score_many`` passes
+    through (scores feed tie-sensitive fusion, so composites always see
+    live values).  One cache can back several wrapped selectors — keys
+    include the wrapped instance's identity.
+    """
+
+    def __init__(
+        self, inner: NeighborSelection, cache: Optional[ScoreCache] = None
+    ) -> None:
+        if _has_rng(inner):
+            raise ConfigurationError(
+                f"cannot cache randomised strategy {inner.name!r}: replaying "
+                "a cached ranking would skip its RNG draws"
+            )
+        self.inner = inner
+        self.cache = cache if cache is not None else ScoreCache()
+        self.name = f"cached-{inner.name}"
+        self._selector_key = f"{inner.name}@{id(inner):x}"
+
+    def score_many(
+        self, querying_host: int, candidates: Sequence[int]
+    ) -> list[float]:
+        return self.inner.score_many(querying_host, candidates)
+
+    def rank(self, querying_host: int, candidates: Sequence[int]) -> list[int]:
+        cand = _dedup(candidates)
+        hit = self.cache.lookup(
+            self._selector_key, querying_host, cand, label=self.inner.name
+        )
+        if hit is not None:
+            return hit
+        with timed_rank(self.inner.name):
+            ranked = self.inner.rank(querying_host, cand)
+        self.cache.store(self._selector_key, querying_host, cand, ranked)
+        return ranked
+
+    def top_k(
+        self, querying_host: int, candidates: Sequence[int], k: int
+    ) -> list[int]:
+        if k < 0:
+            raise ConfigurationError("k must be non-negative")
+        cand = _dedup(candidates)
+        hit = self.cache.lookup(
+            self._selector_key, querying_host, cand, k, label=self.inner.name
+        )
+        if hit is not None:
+            return hit
+        with timed_rank(self.inner.name):
+            top = self.inner.top_k(querying_host, cand, k)
+        self.cache.store(self._selector_key, querying_host, cand, top, k)
+        return top

@@ -255,11 +255,13 @@ def run_table2(n_hosts: int = 200, seed: int = 31) -> ExperimentResult:
 
     selectors: dict[str, NeighborSelection] = {
         "isp_location": ISPLocalitySelection(underlay, oracle=ISPOracle(underlay)),
+        # coord_rtt draws coordinate error from coord_rng per call, so it
+        # must stay on the scalar per-candidate path (a batch predictor
+        # would change the draw order); the scalar loop preserves the
+        # enumeration order of the candidates exactly
         "latency": LatencySelection(coord_rtt),
         "geolocation": GeoSelection(gps.position_of),
-        "peer_resources": ResourceSelection(
-            lambda hid: underlay.host(hid).resources.capacity_score()
-        ),
+        "peer_resources": ResourceSelection.from_underlay(underlay),
     }
     baseline_arm = _Arm(underlay, RandomSelection(seed), seed=seed + 1)
     base = baseline_arm.measure()

@@ -325,7 +325,9 @@ class GnutellaNetwork:
         if not candidates:
             return None
         if self.biased_download and self.oracle is not None:
-            source = self.oracle.rank(rec.origin, candidates)[0]
+            # top-1 via the single-scan path: same overhead charge and
+            # jitter draw as a full rank, no sort
+            source = self.oracle.best(rec.origin, candidates)
         else:
             source = candidates[int(self._rng.integers(len(candidates)))]
         rec.downloaded_from = source

@@ -17,6 +17,7 @@ it enters the routing table.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -154,10 +155,15 @@ class _Lookup:
             i for i in self._k_closest_ids() if self.state[i] == self._NEW
         ]
         if cfg.proximity_routing:
-            # PR: among the useful candidates, lowest measured RTT first
-            candidates.sort(
+            # PR: among the useful candidates, lowest measured RTT first.
+            # Only the alpha cheapest are dispatched, so take them with a
+            # single scan instead of sorting the whole candidate list
+            # (nsmallest == sorted(...)[:budget], same tie-break key).
+            candidates = heapq.nsmallest(
+                budget,
+                candidates,
                 key=lambda i: (self.contact_of[i].rtt_ms,
-                               xor_distance(i, self.target))
+                               xor_distance(i, self.target)),
             )
         for nid in candidates[:budget]:
             self.state[nid] = self._INFLIGHT

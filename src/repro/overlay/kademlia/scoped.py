@@ -105,10 +105,20 @@ class ScopedKademlia:
             use_coordinate_estimates=False,
         )
         self.sim = sim
+        # region is a pure function of the AS; memoised so the per-contact
+        # loops in the locality analysis don't re-walk the topology
+        self._region_by_asn: dict[int, int] = {}
 
     def region_of(self, host_id: int) -> int:
-        region = self.underlay.topology.asys(self.underlay.asn_of(host_id)).region
-        return max(region, 0) % self.hashing.n_scopes
+        asn = self.underlay.asn_of(host_id)
+        region = self._region_by_asn.get(asn)
+        if region is None:
+            region = (
+                max(self.underlay.topology.asys(asn).region, 0)
+                % self.hashing.n_scopes
+            )
+            self._region_by_asn[asn] = region
+        return region
 
     # -- population --------------------------------------------------------------
     def add_all_hosts(self) -> None:

@@ -138,6 +138,15 @@ class Underlay:
         """AS-hop distance between two hosts' ASes."""
         return self.routing.hops(self.asn_of(host_a), self.asn_of(host_b))
 
+    def asns_of(self, host_ids: Sequence[Hashable]) -> np.ndarray:
+        """ASN per host id, as one int64 array — the gather step of the
+        batched oracle/selection rankers."""
+        return np.fromiter(
+            (self.asn_of(h) for h in host_ids),
+            dtype=np.int64,
+            count=len(host_ids),
+        )
+
     # -- latency -------------------------------------------------------------------
     @property
     def latency_matrix(self) -> np.ndarray:
@@ -191,6 +200,23 @@ class Underlay:
 
     def one_way_delay_hosts(self, a: Host, b: Host) -> float:
         return self.one_way_delay(a.host_id, b.host_id)
+
+    def one_way_delay_row(
+        self, src: Hashable, dsts: Sequence[Hashable]
+    ) -> np.ndarray:
+        """One-way delay from ``src`` to each of ``dsts`` (ms) as one
+        latency-matrix row gather — the batch form of
+        :meth:`one_way_delay`, value-identical entry by entry."""
+        mat = self._latency_matrix
+        if mat is None:
+            mat = self.latency_matrix
+        i = self._index_of[self._host_id_of(src)]
+        idx = self._index_of
+        try:  # dsts are almost always bare host ids; resolve tuples lazily
+            cols = [idx[d] for d in dsts]
+        except (KeyError, TypeError):
+            cols = [idx[self._host_id_of(d)] for d in dsts]
+        return mat[i, cols].astype(float)
 
     # -- simulation plumbing ----------------------------------------------------------
     def message_bus(

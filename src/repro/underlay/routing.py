@@ -248,6 +248,21 @@ class ASRouting:
             raise RoutingError(f"no valley-free route AS{src} -> AS{dst}")
         return h
 
+    def hops_row(self, src: int) -> np.ndarray:
+        """The full hop-count row from ``src`` (read-only int32 view).
+
+        One cache lookup serves a whole candidate list: batched rankers
+        gather ``row[dsts]`` instead of calling :meth:`hops` per pair.
+        Unreachable destinations hold ``-1``; callers that index
+        individual entries must treat negatives like the
+        :class:`~repro.errors.RoutingError` raised by :meth:`hops`.
+        """
+        row = self._hops_cache.get(src)
+        if row is None:
+            self._ensure_tree(src)
+            row = self._hops_cache[src]
+        return row
+
     def path(self, src: int, dst: int) -> list[int]:
         """AS path including both endpoints; ``[src]`` when src == dst."""
         self._ensure_tree(src)

@@ -1,0 +1,206 @@
+"""ScoreCache / CachedSelection: hits, LRU, invalidation wiring, metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.collection.coordinate_service import VivaldiGossipService
+from repro.collection.oracle import ISPOracle
+from repro.core.score_cache import CachedSelection, ScoreCache
+from repro.core.selection import (
+    CompositeSelection,
+    ISPLocalitySelection,
+    LatencySelection,
+    RandomSelection,
+    ResourceSelection,
+)
+from repro.errors import ConfigurationError
+from repro.sim import ChurnConfig, ChurnProcess, Simulation
+
+
+class _CountingSelector(LatencySelection):
+    """Latency selector that counts how many rankings actually ran."""
+
+    def __init__(self, underlay):
+        inner = LatencySelection.from_underlay(underlay)
+        super().__init__(inner.rtt_predictor, batch_predictor=inner.batch_predictor)
+        self.rank_calls = 0
+
+    def score_many(self, querying_host, candidates):
+        self.rank_calls += 1
+        return super().score_many(querying_host, candidates)
+
+
+def test_cached_rank_and_top_k_hit(small_underlay):
+    ids = small_underlay.host_ids()
+    inner = _CountingSelector(small_underlay)
+    cached = CachedSelection(inner)
+    cand = ids[1:20]
+    first = cached.rank(ids[0], cand)
+    again = cached.rank(ids[0], cand)
+    assert first == again == inner.rank(ids[0], cand)
+    assert inner.rank_calls == 2  # one cached miss + the direct call above
+    assert cached.cache.hits == 1 and cached.cache.misses == 1
+    # full-rank and top-k entries are separate keys
+    top = cached.top_k(ids[0], cand, 3)
+    assert top == first[:3]
+    assert cached.top_k(ids[0], cand, 3) == top
+    assert cached.cache.hits == 2
+    # select() flows through the cached top_k
+    assert cached.select(ids[0], cand, 3) == top
+    with pytest.raises(ConfigurationError):
+        cached.top_k(ids[0], cand, -1)
+
+
+def test_cache_returns_copies_and_respects_order(small_underlay):
+    ids = small_underlay.host_ids()
+    cached = CachedSelection(LatencySelection.from_underlay(small_underlay))
+    cand = ids[1:10]
+    ranked = cached.rank(ids[0], cand)
+    ranked.append(-1)  # mutating the result must not corrupt the cache
+    assert cached.rank(ids[0], cand)[-1] != -1
+    # candidate order is part of the key: ties break by input position
+    assert cached.cache.lookup("x", ids[0], cand) is None
+    digest_fwd = cached.cache.candidate_digest(cand)
+    digest_rev = cached.cache.candidate_digest(list(reversed(cand)))
+    assert digest_fwd != digest_rev
+
+
+def test_seed_keys_the_digest():
+    assert ScoreCache(seed=1).candidate_digest([1, 2, 3]) != \
+        ScoreCache(seed=2).candidate_digest([1, 2, 3])
+    assert ScoreCache(seed=1).candidate_digest([1, 2, 3]) == \
+        ScoreCache(seed=1).candidate_digest([1, 2, 3])
+
+
+def test_lru_eviction():
+    cache = ScoreCache(maxsize=2)
+    cache.store("s", 0, [1], [1])
+    cache.store("s", 0, [2], [2])
+    cache.lookup("s", 0, [1])          # refresh entry [1]
+    cache.store("s", 0, [3], [3])      # evicts [2], the least recent
+    assert cache.lookup("s", 0, [1]) == [1]
+    assert cache.lookup("s", 0, [2]) is None
+    assert cache.lookup("s", 0, [3]) == [3]
+    with pytest.raises(ConfigurationError):
+        ScoreCache(maxsize=0)
+
+
+def test_manual_and_mobility_invalidation(small_underlay):
+    ids = small_underlay.host_ids()
+    cached = CachedSelection(LatencySelection.from_underlay(small_underlay))
+    cached.rank(ids[0], ids[1:8])
+    assert len(cached.cache) == 1
+    cached.cache.note_mobility(ids[3])
+    assert len(cached.cache) == 0
+    assert cached.cache.invalidations == 1
+    cached.rank(ids[0], ids[1:8])
+    cached.cache.invalidate()
+    assert len(cached.cache) == 0
+
+
+def test_churn_arrival_invalidates(small_underlay):
+    ids = small_underlay.host_ids()
+    sim = Simulation()
+    joined = []
+    churn = ChurnProcess(
+        sim,
+        peers=ids[:5],
+        config=ChurnConfig(mean_session=500.0, mean_offline=100.0),
+        on_join=joined.append,
+        on_leave=lambda p: None,
+        rng=1,
+    )
+    cache = ScoreCache()
+    cache.watch_churn(churn)
+    cached = CachedSelection(
+        LatencySelection.from_underlay(small_underlay), cache
+    )
+    cached.rank(ids[0], ids[1:8])
+    assert len(cache) == 1
+    churn.start(warmup=5.0)
+    sim.run(until=50.0)
+    assert joined  # the original callback still fires
+    assert len(cache) == 0 and cache.invalidations >= len(joined)
+
+
+def test_coordinate_tick_invalidates(small_underlay):
+    ids = small_underlay.host_ids()
+    sim = Simulation()
+    bus, _ = small_underlay.message_bus(sim, with_accounting=False)
+    service = VivaldiGossipService(
+        small_underlay, sim, bus,
+        participants=ids[:6], probe_period_ms=100.0, rng=3,
+    )
+    cache = ScoreCache()
+    cache.watch_coordinates(service)
+    cached = CachedSelection(
+        LatencySelection(
+            service.estimate, batch_predictor=service.estimate_many
+        ),
+        cache,
+    )
+    sim.run(until=500.0)
+    assert service.samples_processed > 0
+    cached.rank(ids[0], ids[1:6])
+    assert len(cache) == 1
+    invalidations_before = cache.invalidations
+    sim.run(until=1_000.0)
+    assert cache.invalidations > invalidations_before
+    assert len(cache) == 0
+    service.stop()
+
+
+def test_randomised_strategies_refused(small_underlay):
+    with pytest.raises(ConfigurationError):
+        CachedSelection(RandomSelection(1))
+    jittered = ISPLocalitySelection(
+        small_underlay, oracle=ISPOracle(small_underlay, rng=4)
+    )
+    with pytest.raises(ConfigurationError):
+        CachedSelection(jittered)
+    composite = CompositeSelection(
+        [
+            (ResourceSelection.from_underlay(small_underlay), 0.5),
+            (RandomSelection(2), 0.5),
+        ]
+    )
+    with pytest.raises(ConfigurationError):
+        CachedSelection(composite)
+    # deterministic oracle path is fine
+    CachedSelection(
+        ISPLocalitySelection(small_underlay, oracle=ISPOracle(small_underlay))
+    )
+
+
+def test_cache_metrics_on_active_registry(small_underlay):
+    from repro.obs.export import registry_to_dict
+
+    ids = small_underlay.host_ids()
+    cached = CachedSelection(LatencySelection.from_underlay(small_underlay))
+    with obs.observe() as session:
+        cached.rank(ids[0], ids[1:10])
+        cached.rank(ids[0], ids[1:10])
+        cached.cache.invalidate()
+        data = registry_to_dict(session.registry)
+    hits = data["selection_cache_hits_total"]["values"]
+    assert hits["selector=latency,event=miss"] == 1
+    assert hits["selector=latency,event=hit"] == 1
+    assert hits["selector=manual,event=invalidate"] == 1
+    rank_seconds = data["selection_rank_seconds"]["values"]
+    assert rank_seconds["selector=latency"]["count"] == 1  # miss path timed
+
+
+def test_shared_cache_distinguishes_selectors(small_underlay):
+    ids = small_underlay.host_ids()
+    cache = ScoreCache()
+    lat = CachedSelection(LatencySelection.from_underlay(small_underlay), cache)
+    res = CachedSelection(ResourceSelection.from_underlay(small_underlay), cache)
+    cand = ids[1:12]
+    assert lat.rank(ids[0], cand) == \
+        LatencySelection.from_underlay(small_underlay).rank(ids[0], cand)
+    assert res.rank(ids[0], cand) == \
+        ResourceSelection.from_underlay(small_underlay).rank(ids[0], cand)
+    assert cache.misses == 2 and cache.hits == 0
