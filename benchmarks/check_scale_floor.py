@@ -1,0 +1,95 @@
+"""CI guard: fail when the struct-of-arrays peer state regresses by >3x.
+
+Re-times the N = 10^4 liveness transition workload (slot-vector batch
+writes + vectorised online scans over :class:`repro.core.peerstate.PeerState`)
+and compares it against the loose floor recorded in ``scale_floor.json``
+— the 3x headroom means only a real complexity regression trips it, not
+machine-to-machine noise.  If a fresh ``BENCH_scale.json`` exists at the
+repo root (written by ``benchmarks/test_microbench_scale.py``), its
+recorded headline speedup over the object-based reference is validated
+too.
+
+Usage:  PYTHONPATH=src python benchmarks/check_scale_floor.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.core.peerstate import OFFLINE, ONLINE, PeerState
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = HERE.parent
+REGRESSION_FACTOR = 3.0
+HEADLINE_SPEEDUP = 3.0
+REPEATS = 5
+N = 10_000
+
+
+def _transitions_per_sec() -> float:
+    state = PeerState(initial_capacity=N)
+    hosts = list(range(N))
+    for h in hosts:
+        state.admit(h, region=h % 64)
+    block = N // 10
+    cohorts = [
+        state.slots_of(hosts[(r * block) % N : (r * block) % N + block])
+        for r in range(50)
+    ]
+
+    def run() -> int:
+        events = 0
+        for cohort in cohorts:
+            state.set_status_slots(cohort, ONLINE)
+            state.online_count()
+            state.set_status_slots(cohort, OFFLINE)
+            events += 2 * len(cohort)
+        return events
+
+    run()  # warm caches/imports
+    best = min(_timed(run) for _ in range(REPEATS))
+    return (2 * block * len(cohorts)) / best
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def main() -> int:
+    floor = json.loads((HERE / "scale_floor.json").read_text())[
+        "soa_transitions_10k_events_per_sec"
+    ]
+    limit = floor / REGRESSION_FACTOR
+
+    rate = _transitions_per_sec()
+    verdict = "OK" if rate >= limit else "REGRESSION"
+    print(
+        f"PeerState liveness transitions (N={N}): {rate / 1e6:.1f} M events/s "
+        f"(floor {floor / 1e6:.1f} M, limit {limit / 1e6:.1f} M) -> {verdict}"
+    )
+    failed = rate < limit
+
+    bench = REPO_ROOT / "BENCH_scale.json"
+    if bench.exists():
+        headline = json.loads(bench.read_text())["headline"]
+        speedup = headline["transitions_speedup_n10000"]
+        ok = speedup >= HEADLINE_SPEEDUP
+        print(
+            f"BENCH_scale.json headline: {speedup:.2f}x over the object "
+            f"reference at N=10^4 (required >= {HEADLINE_SPEEDUP:.0f}x) -> "
+            f"{'OK' if ok else 'REGRESSION'}"
+        )
+        failed = failed or not ok
+    else:
+        print("BENCH_scale.json not present - skipping headline validation")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,14 @@ from repro.core.qos import (
     REAL_TIME,
     QoSProfile,
 )
+from repro.core.peerstate import (
+    ArrayNeighborSet,
+    Bitmap2D,
+    NeighborColumns,
+    PeerState,
+    PeerStateReference,
+    SlotAllocator,
+)
 from repro.core.score_cache import CachedSelection, ScoreCache
 from repro.core.selection import (
     CompositeSelection,
@@ -30,7 +38,9 @@ from repro.core.taxonomy import (
 )
 
 __all__ = [
+    "ArrayNeighborSet",
     "BUILTIN_PROFILES",
+    "Bitmap2D",
     "CachedSelection",
     "CompositeSelection",
     "FILE_SHARING",
@@ -40,13 +50,17 @@ __all__ = [
     "LOCATION_SERVICES",
     "LTMStats",
     "LatencySelection",
+    "NeighborColumns",
     "NeighborSelection",
+    "PeerState",
+    "PeerStateReference",
     "QoSProfile",
     "REAL_TIME",
     "RandomSelection",
     "ResourceSelection",
     "ScoreCache",
     "ScoredSelection",
+    "SlotAllocator",
     "SystemEntry",
     "TABLE1_SYSTEMS",
     "UnderlayAwarenessFramework",

@@ -1,6 +1,6 @@
 """Gnutella 0.6 overlay with oracle-biased neighbor selection ([1], §4)."""
 
-from repro.overlay.gnutella.hostcache import HostCache
+from repro.overlay.gnutella.hostcache import HostCache, HostCacheReference
 from repro.overlay.gnutella.messages import (
     ConnectReply,
     ConnectRequest,
@@ -23,6 +23,7 @@ __all__ = [
     "GnutellaNetwork",
     "GnutellaNode",
     "HostCache",
+    "HostCacheReference",
     "LEAF",
     "NeighborPolicy",
     "Ping",

@@ -25,6 +25,7 @@ import networkx as nx
 import numpy as np
 
 from repro.collection.oracle import ISPOracle
+from repro.core.peerstate import PeerState
 from repro.errors import OverlayError
 from repro.obs import active_registry
 from repro.obs.registry import Histogram, MetricRegistry
@@ -37,6 +38,7 @@ from repro.overlay.gnutella.node import (
 from repro.rng import SeedLike, ensure_rng
 from repro.sim.engine import Simulation
 from repro.sim.messages import MessageBus
+from repro.sim.shard import ShardedScheduler, sharded_scheduling_enabled
 from repro.underlay.hosts import Host
 from repro.underlay.network import Underlay
 
@@ -74,6 +76,7 @@ class GnutellaNetwork:
         biased_download: bool = False,
         external_quota: int = 1,
         rng: SeedLike = None,
+        use_peerstate: bool = True,
     ) -> None:
         if policy is NeighborPolicy.BIASED and oracle is None:
             raise OverlayError("BIASED policy requires an oracle")
@@ -90,6 +93,16 @@ class GnutellaNetwork:
         self.external_quota = external_quota
         self._rng = ensure_rng(rng)
         self.nodes: dict[int, GnutellaNode] = {}
+        #: struct-of-arrays hot state: neighbor/leaf sets, the ultrapeer
+        #: bitmap, and per-host regions (for AS-sharded scheduling) live
+        #: here; ``use_peerstate=False`` keeps the object-based reference
+        #: path (plain Python sets on each node)
+        self.peerstate: Optional[PeerState] = PeerState() if use_peerstate else None
+        self._roles = (
+            self.peerstate.bitmap("gnutella_roles", 1)
+            if self.peerstate is not None
+            else None
+        )
         self._guid_counter = 0
         self.searches: dict[int, SearchRecord] = {}
         #: set by :meth:`instrument`; nodes observe answered-query hop
@@ -116,6 +129,10 @@ class GnutellaNetwork:
     def add_node(self, host: Host, role: str) -> GnutellaNode:
         if host.host_id in self.nodes:
             raise OverlayError(f"host {host.host_id} already in network")
+        if self.peerstate is not None:
+            slot = self.peerstate.admit(host.host_id, region=host.asn)
+            if role == ULTRAPEER:
+                self._roles.set(slot, 0)
         node = GnutellaNode(host, self.sim, self.bus, self, role, self.config)
         if self._registry is not None:
             node.instrument(self._registry, "gnutella")
@@ -146,6 +163,9 @@ class GnutellaNetwork:
             self.add_node(h, ULTRAPEER if h.host_id in ups else LEAF)
 
     def role_of(self, host_id: int) -> str:
+        if self.peerstate is not None and host_id in self.peerstate:
+            slot = self.peerstate.slot_of(host_id)
+            return ULTRAPEER if self._roles.test(slot, 0) else LEAF
         node = self.nodes.get(host_id)
         if node is None:
             raise OverlayError(f"unknown gnutella node {host_id}")
@@ -208,16 +228,31 @@ class GnutellaNetwork:
         rest = [c for c in ranked if c not in keep and c not in tail_externals]
         return keep + tail_externals + rest
 
-    def join_all(self, stagger_ms: float = 2000.0) -> None:
+    def join_all(
+        self, stagger_ms: float = 2000.0, *, sharded: Optional[bool] = None
+    ) -> None:
         """Schedule every node's join, ultrapeers first so that leaves find
-        an ultrapeer mesh to attach to."""
-        t = 0.0
+        an ultrapeer mesh to attach to.
+
+        ``sharded`` (default: the process-wide setting) batches the join
+        events per AS through a :class:`ShardedScheduler` — one
+        ``schedule_many`` heapify instead of one ``heappush`` per host —
+        and is bit-identical to the serial path (same RNG draws, same
+        sequence numbers, same trace events)."""
+        if sharded is None:
+            sharded = sharded_scheduling_enabled()
         ordered = self.ultrapeers() + self.leaves()
+        scheduler = ShardedScheduler(self.sim) if sharded else None
         for node in ordered:
             delay = float(self._rng.uniform(0, stagger_ms)) if stagger_ms > 0 else 0.0
             if node.role == LEAF:
                 delay += stagger_ms  # leaves join after the UP mesh settles
-            self.sim.schedule(delay, self._join_node, node)
+            if scheduler is not None:
+                scheduler.defer(node.asn, delay, self._join_node, node)
+            else:
+                self.sim.schedule(delay, self._join_node, node)
+        if scheduler is not None:
+            scheduler.flush()
 
     def _join_node(self, node: GnutellaNode) -> None:
         node.join(self.ranked_candidates(node))

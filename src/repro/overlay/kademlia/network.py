@@ -16,6 +16,7 @@ from repro.overlay.kademlia.node import KademliaConfig, KademliaNode, LookupResu
 from repro.rng import SeedLike, ensure_rng
 from repro.sim.engine import Simulation
 from repro.sim.messages import MessageBus
+from repro.sim.shard import ShardedScheduler, sharded_scheduling_enabled
 from repro.underlay.network import Underlay
 
 
@@ -105,12 +106,26 @@ class KademliaNetwork:
             node.go_online()
             self.nodes[h.host_id] = node
 
-    def bootstrap_all(self, *, seeds_per_node: int = 3, stagger_ms: float = 500.0) -> None:
+    def bootstrap_all(
+        self,
+        *,
+        seeds_per_node: int = 3,
+        stagger_ms: float = 500.0,
+        sharded: Optional[bool] = None,
+    ) -> None:
         """Every node seeds its table from a few random already-known nodes
-        and performs a self-lookup; staggered so the mesh forms gradually."""
+        and performs a self-lookup; staggered so the mesh forms gradually.
+
+        ``sharded`` (default: the process-wide setting) routes the
+        per-node bootstrap events through an AS-sharded
+        :class:`ShardedScheduler` — one batched ``schedule_many`` insert
+        for the whole population, bit-identical to the serial path."""
         ids = list(self.nodes)
         if len(ids) < 2:
             raise OverlayError("need at least two nodes to bootstrap")
+        if sharded is None:
+            sharded = sharded_scheduling_enabled()
+        scheduler = ShardedScheduler(self.sim) if sharded else None
         for i, hid in enumerate(ids):
             node = self.nodes[hid]
             pool = [x for x in ids if x != hid]
@@ -118,7 +133,12 @@ class KademliaNetwork:
             chosen = self._rng.choice(len(pool), size=k, replace=False)
             seeds = [self.nodes[pool[int(c)]].contact() for c in chosen]
             delay = float(self._rng.uniform(0, stagger_ms)) + i * 2.0
-            self.sim.schedule(delay, node.bootstrap, seeds)
+            if scheduler is not None:
+                scheduler.defer(self.underlay.asn_of(hid), delay, node.bootstrap, seeds)
+            else:
+                self.sim.schedule(delay, node.bootstrap, seeds)
+        if scheduler is not None:
+            scheduler.flush()
 
     # -- maintenance ---------------------------------------------------------------
     def start_maintenance(

@@ -17,6 +17,11 @@ from repro.sim.engine import EventHandle, Simulation
 from repro.sim.messages import BusStats, Message, MessageBus
 from repro.sim.process import PeriodicProcess, call_after
 from repro.sim.requests import RequestManager, RequestStats, RetryPolicy
+from repro.sim.shard import (
+    ShardedScheduler,
+    configure_sharded_scheduling,
+    sharded_scheduling_enabled,
+)
 
 __all__ = [
     "BusStats",
@@ -29,7 +34,10 @@ __all__ = [
     "RequestManager",
     "RequestStats",
     "RetryPolicy",
+    "ShardedScheduler",
     "Simulation",
     "call_after",
+    "configure_sharded_scheduling",
     "draw_duration",
+    "sharded_scheduling_enabled",
 ]

@@ -1,0 +1,136 @@
+"""Region/AS-sharded event scheduling on top of ``Simulation.schedule_many``.
+
+Population-scale operations (bootstrap joins, churn warm-up, maintenance
+kickoff) schedule one event per host.  At 10^5–10^6 hosts, a
+``heappush`` per host and a Python-level call per host is the dominant
+cost of standing the network up.  :class:`ShardedScheduler` batches
+this: callers *defer* events into per-shard buffers (sharded by
+region/AS, so each shard's batch can be built from contiguous substrate
+rows), and ``flush()`` inserts everything through one
+:meth:`~repro.sim.engine.Simulation.schedule_many` call — one heapify
+instead of N pushes.
+
+Determinism contract
+--------------------
+``flush()`` replays the deferred events in **global arrival order**
+(each ``defer`` is stamped; the per-shard buffers are merged back by
+stamp), so sequence numbers, tie-breaking, and trace events are
+bit-identical to calling ``sim.schedule`` once per event at defer time.
+``tests/test_shard_schedule.py`` locks this down against the golden
+trace digests: a sharded fig5/kademlia run and a serial one produce the
+same digest.
+
+The global default (:func:`configure_sharded_scheduling`) lets the
+equivalence tests flip population-scale call sites between the sharded
+and serial paths without threading a flag through every experiment.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Hashable, Iterable, Optional
+
+from repro.sim.engine import EventHandle, Simulation
+
+_SHARDED_DEFAULT = True
+
+
+def configure_sharded_scheduling(enabled: bool) -> None:
+    """Process-wide default for population-scale call sites
+    (``GnutellaNetwork.join_all``, ``KademliaNetwork.bootstrap_all``,
+    ``ChurnProcess.start``): sharded batch insertion when True, the
+    serial per-event ``schedule`` reference path when False.  Both paths
+    are bit-identical; the switch exists so the equivalence tests can
+    compare them."""
+    global _SHARDED_DEFAULT
+    _SHARDED_DEFAULT = bool(enabled)
+
+
+def sharded_scheduling_enabled() -> bool:
+    return _SHARDED_DEFAULT
+
+
+class ShardedScheduler:
+    """Per-shard deferred event buffers with one batched flush.
+
+    Parameters
+    ----------
+    sim:
+        The simulation to insert into at :meth:`flush`.
+    shard_of:
+        Optional key function mapping the caller's shard argument to a
+        shard id; by default the argument is used as the shard id
+        directly (any hashable — AS numbers, region ids, ints).
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        *,
+        shard_of: Optional[Callable[[Hashable], Hashable]] = None,
+    ) -> None:
+        self._sim = sim
+        self._shard_of = shard_of
+        #: shard id -> list of (stamp, delay, callback, args), stamp-ordered
+        self._buffers: dict[Hashable, list[tuple]] = {}
+        self._stamp = itertools.count()
+        self.deferred = 0
+        self.flushes = 0
+
+    # -- deferral -----------------------------------------------------------------
+    def defer(
+        self, shard: Hashable, delay: float, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Queue ``callback(*args)`` for ``delay`` after the *flush-time*
+        clock, in the buffer of ``shard``."""
+        if self._shard_of is not None:
+            shard = self._shard_of(shard)
+        self._buffers.setdefault(shard, []).append(
+            (next(self._stamp), float(delay), callback, args)
+        )
+        self.deferred += 1
+
+    def defer_many(
+        self,
+        shard: Hashable,
+        items: Iterable[tuple[float, Callable[..., None], tuple]],
+    ) -> None:
+        """Queue a batch of ``(delay, callback, args)`` triples on one shard."""
+        if self._shard_of is not None:
+            shard = self._shard_of(shard)
+        buf = self._buffers.setdefault(shard, [])
+        stamp = self._stamp
+        for delay, callback, args in items:
+            buf.append((next(stamp), float(delay), callback, args))
+            self.deferred += 1
+
+    # -- introspection -------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        return sum(len(b) for b in self._buffers.values())
+
+    def shard_sizes(self) -> dict[Hashable, int]:
+        """Deferred event count per shard (diagnostics/load balance)."""
+        return {shard: len(buf) for shard, buf in self._buffers.items()}
+
+    # -- flush ---------------------------------------------------------------------
+    def flush(self) -> list[EventHandle]:
+        """Insert every deferred event with one ``schedule_many``.
+
+        The per-shard buffers (each already stamp-ordered) are k-way
+        merged back into global arrival order, so the heap receives the
+        events exactly as a serial caller would have scheduled them.
+        """
+        if not self._buffers:
+            return []
+        buffers = [self._buffers[k] for k in sorted(self._buffers, key=repr)]
+        if len(buffers) == 1:
+            merged = buffers[0]
+        else:
+            merged = list(heapq.merge(*buffers, key=lambda item: item[0]))
+        self._buffers.clear()
+        self.flushes += 1
+        return self._sim.schedule_many(
+            (delay, callback, args) for _stamp, delay, callback, args in merged
+        )

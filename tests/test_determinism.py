@@ -2,6 +2,7 @@
 bit-for-bit — the property every EXPERIMENTS.md number relies on."""
 
 import numpy as np
+import pytest
 
 from repro.experiments import run_fig2, run_fig6, run_table1
 from repro.experiments.fig4_ics import run_fig4_embedding
@@ -44,3 +45,57 @@ def test_different_seeds_differ():
     va = a.row_by("arm", "biased")["intra_as_edge_fraction"]
     vb = b.row_by("arm", "biased")["intra_as_edge_fraction"]
     assert va != vb
+
+
+@pytest.mark.scale
+def test_scale_smoke_100k_hosts_no_slot_leak():
+    """10^5-host churn smoke: the free-list allocator must not leak host
+    slots across crash/evict/revive cycles, and the run must stay inside
+    a bounded memory envelope (deselect with ``-m 'not scale'`` on
+    memory-limited CI runners)."""
+    import resource
+
+    from repro.core.peerstate import PeerState
+    from repro.sim import ChurnConfig, ChurnProcess, Simulation
+
+    n = 100_000
+    peers = list(range(n))
+    state = PeerState(initial_capacity=n)
+    sim = Simulation()
+    churn = ChurnProcess(
+        sim, peers, ChurnConfig(mean_session=1e7, mean_offline=1e7),
+        lambda p: None, lambda p: None,
+        rng=17, peerstate=state, region_of=lambda p: p % 64,
+    )
+    churn.start(warmup=600.0)
+    sim.run(until=700.0)
+    # a few peers may draw (rare) short sessions; the column count must
+    # track the join/leave ledger exactly either way
+    assert state.online_count() == churn.joins - churn.leaves
+    assert state.online_count() > 0.99 * n
+    assert state.slots.high_water == n
+
+    # churn revive cycles over a rotating subset: every crash/evict frees
+    # a slot and every revive must recycle one, never allocate fresh
+    rng = np.random.default_rng(17)
+    for cycle in range(5):
+        victims = rng.choice(n, size=2000, replace=False)
+        for v in victims:
+            v = int(v)
+            churn.crash(v)
+            state.evict(v)
+        for v in victims:
+            churn.revive(int(v), delay=1.0)
+        sim.run(until=sim.now + 10.0)
+        state.slots.check_invariants()
+    assert state.slots.high_water == n  # zero leaked slots
+    assert state.slots.recycles >= 5 * 2000
+    # every join put a peer online, every leave/crash took one offline
+    assert state.online_count() == churn.joins - churn.leaves - churn.crashes
+    assert state.online_count() > 0.99 * n
+
+    # bounded memory: the columns themselves are a few MB, and the whole
+    # process (arrays + sim heap + interpreter) stays well under 2 GiB
+    assert state.memory_bytes() < 64 * 2**20
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    assert peak_kb < 2 * 2**20, f"peak RSS {peak_kb / 2**20:.2f} GiB"

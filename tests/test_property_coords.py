@@ -59,9 +59,41 @@ def test_ics_estimates_scale_linearly(mat, scale):
             )
 
 
-@given(symmetric_distance_matrices())
+def euclidean_distance_matrices(max_n=8):
+    """Distance matrices of random point clouds (1–3 dim positions).
+
+    The full-dim-vs-dim-1 residual property below is only claimed for
+    geometrically realisable inputs: for arbitrary symmetric matrices
+    with strongly non-Euclidean spectra (a negative Gram eigenvalue the
+    size of the positive ones, e.g. the 4-point "star" D with d01=0.5,
+    d02=3.75), adding a principal direction can genuinely worsen the
+    single-alpha least-squares fit — that is a property of PCA-on-D, not
+    a bug.  Beacon RTT matrices, which ICS models, are near-Euclidean.
+    """
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=2, max_value=max_n))
+        pdim = draw(st.integers(min_value=1, max_value=3))
+        pts = draw(
+            hnp.arrays(
+                dtype=float,
+                shape=(n, pdim),
+                elements=st.floats(min_value=0.0, max_value=100.0),
+            )
+        )
+        diff = pts[:, None, :] - pts[None, :, :]
+        mat = np.sqrt((diff**2).sum(axis=-1))
+        assume(float(mat.max()) > 1e-6)  # not all points coincident
+        return mat
+
+    return build()
+
+
+@given(euclidean_distance_matrices())
 def test_ics_full_dim_never_worse_than_dim1(mat):
-    """More PCA dimensions cannot increase the fitting residual."""
+    """More PCA dimensions cannot increase the fitting residual (on
+    geometrically realisable distance matrices)."""
     n = mat.shape[0]
     iu = np.triu_indices(n, 1)
 

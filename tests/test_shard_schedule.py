@@ -1,0 +1,197 @@
+"""Sharded scheduling preserves global event order and trace digests.
+
+The determinism contract of :class:`repro.sim.shard.ShardedScheduler` is
+that batching events through per-shard buffers and one ``schedule_many``
+is *bit-identical* to scheduling each event serially at defer time:
+same sequence numbers, same tie-breaking, same trace digest.  These
+tests lock that down, from the scheduler in isolation up to full
+fig5/kademlia scenario runs compared under both paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.sim import Simulation
+from repro.sim.shard import (
+    ShardedScheduler,
+    configure_sharded_scheduling,
+    sharded_scheduling_enabled,
+)
+from tests.test_golden_traces import _fig5_trace_once, _kademlia_trace
+
+
+@pytest.fixture()
+def serial_default():
+    """Run the test with sharded scheduling globally disabled."""
+    configure_sharded_scheduling(False)
+    try:
+        yield
+    finally:
+        configure_sharded_scheduling(True)
+
+
+# -- scheduler unit behaviour --------------------------------------------------------
+class TestShardedScheduler:
+    def test_flush_empty_is_noop(self, sim):
+        sched = ShardedScheduler(sim)
+        assert sched.flush() == []
+        assert sched.flushes == 0
+
+    def test_flush_preserves_arrival_order_across_shards(self, sim):
+        """Events interleaved over shards fire exactly as if scheduled
+        serially — ties on delay break by arrival stamp, not by shard."""
+        fired = []
+        sched = ShardedScheduler(sim)
+        # all at the same delay: order must be pure arrival order
+        for i, shard in enumerate([3, 1, 2, 1, 3, 0, 2, 0]):
+            sched.defer(shard, 5.0, fired.append, i)
+        assert sched.pending == 8
+        assert sched.shard_sizes() == {0: 2, 1: 2, 2: 2, 3: 2}
+        handles = sched.flush()
+        assert len(handles) == 8
+        assert sched.pending == 0 and sched.flushes == 1
+        sim.run()
+        assert fired == list(range(8))
+
+    def test_flush_matches_serial_schedule(self):
+        """Same (shard, delay) stream through a scheduler and through
+        plain sim.schedule: identical fire order."""
+        stream = [(i % 5, float((i * 7) % 3), i) for i in range(100)]
+
+        def run_serial():
+            sim, fired = Simulation(), []
+            for _shard, delay, i in stream:
+                sim.schedule(delay, fired.append, i)
+            sim.run()
+            return fired
+
+        def run_sharded():
+            sim, fired = Simulation(), []
+            sched = ShardedScheduler(sim)
+            for shard, delay, i in stream:
+                sched.defer(shard, delay, fired.append, i)
+            sched.flush()
+            sim.run()
+            return fired
+
+        assert run_sharded() == run_serial()
+
+    def test_defer_many_equals_repeated_defer(self, sim):
+        fired = []
+        sched = ShardedScheduler(sim)
+        sched.defer_many(0, [(1.0, fired.append, (1,)), (0.5, fired.append, (2,))])
+        sched.defer(1, 0.5, fired.append, 3)
+        assert sched.deferred == 3
+        sched.flush()
+        sim.run()
+        assert fired == [2, 3, 1]  # delay order, stamp-ordered ties
+
+    def test_shard_of_key_function(self, sim):
+        sched = ShardedScheduler(sim, shard_of=lambda region: region % 2)
+        for region in range(6):
+            sched.defer(region, 1.0, lambda: None)
+        assert sched.shard_sizes() == {0: 3, 1: 3}
+
+    def test_handles_are_cancellable(self, sim):
+        fired = []
+        sched = ShardedScheduler(sim)
+        sched.defer(0, 1.0, fired.append, "a")
+        sched.defer(1, 1.0, fired.append, "b")
+        handles = sched.flush()
+        handles[0].cancel()
+        sim.run()
+        assert fired == ["b"]
+
+    def test_global_toggle(self):
+        assert sharded_scheduling_enabled()  # repo default
+        configure_sharded_scheduling(False)
+        try:
+            assert not sharded_scheduling_enabled()
+        finally:
+            configure_sharded_scheduling(True)
+
+
+# -- trace-digest equivalence on the scheduler itself --------------------------------
+def _digest_of(run) -> tuple[str, int]:
+    tracer = obs.Tracer(capacity=64)
+    with obs.observe(tracer=tracer):
+        run()
+    return tracer.digest(), tracer.emitted
+
+
+def test_scheduler_trace_digest_matches_serial():
+    """The digest covers schedule/fire seq numbers — sharded insertion
+    must reproduce them exactly."""
+    stream = [(i % 7, float((i * 13) % 11), i) for i in range(300)]
+
+    def noop():  # one shared callback: trace events record the qualname
+        pass
+
+    def serial():
+        sim = Simulation()
+        for _shard, delay, _i in stream:
+            sim.schedule(delay, noop)
+        sim.run()
+
+    def sharded():
+        sim = Simulation()
+        sched = ShardedScheduler(sim)
+        for shard, delay, _i in stream:
+            sched.defer(shard, delay, noop)
+        sched.flush()
+        sim.run()
+
+    digest_serial, emitted_serial = _digest_of(serial)
+    digest_sharded, emitted_sharded = _digest_of(sharded)
+    assert emitted_serial > 500
+    assert emitted_sharded == emitted_serial
+    assert digest_sharded == digest_serial
+
+
+# -- full-scenario equivalence against the golden traces -----------------------------
+def test_fig5_digest_identical_serial_vs_sharded(serial_default):
+    """A full Gnutella fig5 run (join_all + churn warm-up sharded by AS)
+    produces the same golden-trace digest on both paths."""
+    digest_serial, emitted_serial = _fig5_trace_once(11, 77)  # serial (fixture)
+    configure_sharded_scheduling(True)
+    digest_sharded, emitted_sharded = _fig5_trace_once(11, 78)
+    assert emitted_serial > 10_000
+    assert emitted_sharded == emitted_serial
+    assert digest_sharded == digest_serial
+
+
+def test_kademlia_digest_identical_serial_vs_sharded(serial_default):
+    """bootstrap_all sharded by AS reproduces the serial digest."""
+    digest_serial, emitted_serial = _kademlia_trace(seed=3)
+    configure_sharded_scheduling(True)
+    digest_sharded, emitted_sharded = _kademlia_trace(seed=3)
+    assert emitted_serial > 1_000
+    assert emitted_sharded == emitted_serial
+    assert digest_sharded == digest_serial
+
+
+def test_churn_start_identical_serial_vs_sharded():
+    """ChurnProcess.start region-sharded warm-up matches serial."""
+    from repro.sim import ChurnConfig, ChurnProcess
+
+    def run(sharded: bool):
+        sim, log = Simulation(), []
+        churn = ChurnProcess(
+            sim,
+            [f"p{i}" for i in range(50)],
+            ChurnConfig(mean_session=300.0, mean_offline=200.0),
+            lambda p: log.append(("j", p, sim.now)),
+            lambda p: log.append(("l", p, sim.now)),
+            rng=5,
+            region_of=lambda p: int(p[1:]) % 4,
+        )
+        churn.start(warmup=60.0, sharded=sharded)
+        sim.run(until=2000.0)
+        churn.stop()
+        return log
+
+    serial, sharded = run(False), run(True)
+    assert len(serial) > 50
+    assert sharded == serial
