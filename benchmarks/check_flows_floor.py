@@ -1,0 +1,85 @@
+"""CI guard: fail when the flow-level swarm data plane regresses by >3x.
+
+Re-runs the N = 10^3-peer single-torrent swarm to full completion on the
+flow plane (:class:`repro.overlay.bittorrent.FlowSwarmSimulation` —
+event-driven control plane, closed-form water-filling rate epochs) and
+compares peers/sec against the loose floor recorded in
+``flows_floor.json`` — the 3x headroom means only a real complexity
+regression trips it, not machine-to-machine noise.  If a fresh
+``BENCH_flows.json`` exists at the repo root (written by
+``benchmarks/test_microbench_flows.py``), its recorded headline speedup
+over the time-stepped reference is validated too.
+
+Usage:  PYTHONPATH=src python benchmarks/check_flows_floor.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.overlay.bittorrent import FlowSwarmSimulation, Torrent, Tracker
+from repro.underlay.network import Underlay, UnderlayConfig
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = HERE.parent
+REGRESSION_FACTOR = 3.0
+HEADLINE_SPEEDUP = 5.0
+N_PEERS = 1_000
+SEED = 5
+
+
+def _peers_per_sec() -> float:
+    underlay = Underlay.generate(UnderlayConfig(n_hosts=N_PEERS, seed=SEED))
+    ids = underlay.host_ids()
+    seeds = sorted(
+        ids, key=lambda h: -underlay.host(h).resources.bandwidth_up_kbps
+    )[:5]
+    leechers = [h for h in ids if h not in seeds]
+    torrent = Torrent(0, n_pieces=16, piece_size_bytes=262144)
+    swarm = FlowSwarmSimulation(
+        underlay, torrent, Tracker(underlay, rng=SEED), rng=SEED
+    )
+    swarm.populate(leechers, seeds)
+    t0 = time.perf_counter()
+    report = swarm.run(max_time_s=7200.0)
+    elapsed = time.perf_counter() - t0
+    assert report.completed == report.total_leechers
+    return N_PEERS / elapsed
+
+
+def main() -> int:
+    floor = json.loads((HERE / "flows_floor.json").read_text())[
+        "flow_plane_1000peer_peers_per_sec"
+    ]
+    limit = floor / REGRESSION_FACTOR
+
+    rate = _peers_per_sec()
+    verdict = "OK" if rate >= limit else "REGRESSION"
+    print(
+        f"Flow-plane swarm to completion (N={N_PEERS}): {rate:.0f} peers/s "
+        f"(floor {floor:.0f}, limit {limit:.0f}) -> {verdict}"
+    )
+    failed = rate < limit
+
+    bench = REPO_ROOT / "BENCH_flows.json"
+    if bench.exists():
+        headline = json.loads(bench.read_text())["headline"]
+        speedup = headline["speedup"]["n_1000"]
+        ok = speedup >= HEADLINE_SPEEDUP
+        print(
+            f"BENCH_flows.json headline: {speedup:.2f}x over the "
+            f"time-stepped reference at N=10^3 (required >= "
+            f"{HEADLINE_SPEEDUP:.0f}x) -> {'OK' if ok else 'REGRESSION'}"
+        )
+        failed = failed or not ok
+    else:
+        print("BENCH_flows.json not present - skipping headline validation")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,7 @@ from repro.experiments import (
     run_framework_composite,
     run_isp_bill,
     run_locality_savings,
+    run_locality_swarm,
     run_resilience_faults,
     run_table1,
     run_table2,
@@ -67,6 +68,10 @@ EXPERIMENTS: dict[str, tuple[Callable[..., Any], str]] = {
     "RESILIENCE": (run_resilience_faults,
                    "lookup success & stretch under injected faults (slow; "
                    "--arg smoke=true for the CI-sized run)"),
+    "LOCALITY": (run_locality_swarm,
+                 "locality-bias sweep over a 2000-peer swarm on the "
+                 "flow-level data plane (slow; --arg smoke=true for the "
+                 "CI-sized run)"),
 }
 
 

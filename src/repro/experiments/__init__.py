@@ -14,7 +14,10 @@
 
 Beyond the paper's artefacts, ``resilience_faults`` (id RESILIENCE)
 answers its §5.4 open question with the fault-injection subsystem:
-lookup success and stretch under loss, partition, and crash scenarios.
+lookup success and stretch under loss, partition, and crash scenarios;
+``locality_swarm`` (id LOCALITY) sweeps tracker locality bias over a
+thousand-peer BitTorrent swarm on the flow-level data plane, reproducing
+the Cuevas et al. win-win vs ISP-unfairness regimes.
 """
 
 from repro.experiments.common import (
@@ -38,6 +41,7 @@ from repro.experiments.fig5_gnutella_oracle import run_fig5
 from repro.experiments.fig6_bns import run_fig6
 from repro.experiments.framework_composite import run_framework_composite
 from repro.experiments.isp_bill import run_isp_bill
+from repro.experiments.locality_swarm import run_locality_swarm
 from repro.experiments.resilience_faults import run_resilience_faults
 from repro.experiments.table1_systems import run_table1
 from repro.experiments.table2_impact import run_table2
@@ -69,6 +73,7 @@ __all__ = [
     "run_framework_composite",
     "run_isp_bill",
     "run_locality_savings",
+    "run_locality_swarm",
     "run_observed",
     "run_resilience_faults",
     "run_table1",

@@ -14,6 +14,13 @@ used a comparable discrete simulator).  Each step:
 Every transferred byte is attributed to intra-AS / peering / transit via
 the underlay routing, which yields the ISP-cost side of the Bindal result;
 per-peer completion times yield the user side.
+
+This time-stepped model is the **reference twin** of the flow-level data
+plane in :mod:`repro.overlay.bittorrent.flowswarm`: it caps out at a few
+hundred peers but models pieces exactly, so the flow plane's completion
+times and traffic splits are equivalence-tested against it on small
+swarms (``tests/test_flowswarm_equiv.py``).  The
+:data:`SwarmSimulationReference` alias names it in that role.
 """
 
 from __future__ import annotations
@@ -83,6 +90,7 @@ class SwarmSimulation:
         self.config = config or SwarmConfig()
         self._rng = ensure_rng(rng)
         self.peers: dict[int, SwarmPeer] = {}
+        self._avail: Optional[np.ndarray] = None
         self.time_s = 0.0
         self.intra_as_bytes = 0.0
         self.peering_bytes = 0.0
@@ -129,6 +137,10 @@ class SwarmSimulation:
         )
         peer.join_time = self.time_s
         self.peers[host_id] = peer
+        if self._avail is not None and is_seed:
+            # keep the hoisted availability current: a joining seed adds
+            # one copy of every piece, a joining leecher adds none
+            self._avail += 1.0
         if self._announce_ctr is not None:
             self._announce_ctr.inc(kind="TRACKER_ANNOUNCE")
         peer_list = self.tracker.announce(host_id)
@@ -174,11 +186,17 @@ class SwarmSimulation:
 
     # -- core loop ----------------------------------------------------------------------
     def _availability(self) -> np.ndarray:
-        avail = np.zeros(self.torrent.n_pieces)
-        for p in self.peers.values():
-            for piece in p.bitfield.have():
-                avail[piece] += 1
-        return avail
+        """Piece availability, hoisted: built once, then updated in place
+        on the only two events that change it (a piece completing inside
+        :meth:`step`, a seed joining in :meth:`add_peer`) instead of being
+        rebuilt from every bitfield each step/rechoke round."""
+        if self._avail is None:
+            avail = np.zeros(self.torrent.n_pieces)
+            for p in self.peers.values():
+                for piece in p.bitfield.have():
+                    avail[piece] += 1
+            self._avail = avail
+        return self._avail
 
     def _rechoke_all(self) -> None:
         for peer in self.peers.values():
@@ -287,3 +305,8 @@ class SwarmSimulation:
             transit_bytes=self.transit_bytes,
             duration_s=self.time_s,
         )
+
+
+#: The time-stepped model in its role as the equivalence reference for
+#: the flow-level data plane (`repro.overlay.bittorrent.flowswarm`).
+SwarmSimulationReference = SwarmSimulation

@@ -55,14 +55,29 @@ class Tracker:
         self.external_quota = external_quota
         self.oracle = oracle
         self._rng = ensure_rng(rng)
-        self.swarm: set[int] = set()
+        # Insertion-ordered registry: iteration order is the announce
+        # order, never the interpreter's hash order, so the seeded RNG is
+        # the only source of list-order variation.
+        self._swarm: dict[int, None] = {}
         self.announces = 0
 
+    @property
+    def swarm(self) -> dict[int, None]:
+        """Registered peers (insertion-ordered; supports ``in``/``len``)."""
+        return self._swarm
+
     def announce(self, host_id: int) -> list[int]:
-        """Register ``host_id`` and return a policy-dependent peer list."""
+        """Register ``host_id`` and return a policy-dependent peer list.
+
+        Every policy threads the tracker's seeded RNG through sampling
+        *and* list order: RANDOM and BIASED lists come back shuffled (for
+        BIASED the AS composition, not the position of same-AS entries,
+        carries the locality bias), while ORACLE keeps the oracle's rank
+        order — ranking is that policy's entire point.
+        """
         self.announces += 1
-        others = [p for p in self.swarm if p != host_id]
-        self.swarm.add(host_id)
+        others = [p for p in self._swarm if p != host_id]
+        self._swarm[host_id] = None
         if not others:
             return []
         if self.policy is TrackerPolicy.RANDOM:
@@ -85,7 +100,17 @@ class Tracker:
         take_internal = self._sample(internal, self.peer_list_size - self.external_quota)
         take_external = self._sample(external, min(self.external_quota,
                                                    self.peer_list_size))
-        return take_internal + take_external
+        combined = take_internal + take_external
+        # External peers are capped by the quota; when the external pool
+        # is short, top the list back up from unused same-AS peers so the
+        # returned degree does not depend on AS population splits.
+        short = min(self.peer_list_size, len(others)) - len(combined)
+        if short > 0:
+            chosen = set(combined)
+            spare = [p for p in internal if p not in chosen]
+            combined += self._sample(spare, short)
+        self._rng.shuffle(combined)
+        return combined
 
     def depart(self, host_id: int) -> None:
-        self.swarm.discard(host_id)
+        self._swarm.pop(host_id, None)

@@ -10,10 +10,14 @@ Public surface:
   — peer session dynamics.
 - :class:`~repro.sim.requests.RequestManager` / :class:`~repro.sim.requests.RetryPolicy`
   — RPC timeouts with capped exponential backoff.
+- :class:`~repro.sim.flows.FlowNetwork` / :func:`~repro.sim.flows.max_min_rates`
+  / :func:`~repro.sim.flows.single_link_waterfill` — flow-level max-min
+  fair bandwidth sharing over capacitated links.
 """
 
 from repro.sim.churn import ChurnConfig, ChurnProcess, draw_duration
 from repro.sim.engine import EventHandle, Simulation
+from repro.sim.flows import FlowNetwork, max_min_rates, single_link_waterfill
 from repro.sim.messages import BusStats, Message, MessageBus
 from repro.sim.process import PeriodicProcess, call_after
 from repro.sim.requests import RequestManager, RequestStats, RetryPolicy
@@ -28,6 +32,7 @@ __all__ = [
     "ChurnConfig",
     "ChurnProcess",
     "EventHandle",
+    "FlowNetwork",
     "Message",
     "MessageBus",
     "PeriodicProcess",
@@ -39,5 +44,7 @@ __all__ = [
     "call_after",
     "configure_sharded_scheduling",
     "draw_duration",
+    "max_min_rates",
     "sharded_scheduling_enabled",
+    "single_link_waterfill",
 ]

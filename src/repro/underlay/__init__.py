@@ -16,7 +16,7 @@ from repro.underlay.cache import (
     disable_default_cache,
     substrate_digest,
 )
-from repro.underlay.cost import CostModel, CostParams
+from repro.underlay.cost import CostModel, CostParams, TransitBillingLedger
 from repro.underlay.geometry import Position, pairwise_distances
 from repro.underlay.hosts import ACCESS_CLASSES, Host, HostFactory, PeerResources
 from repro.underlay.latency import LatencyConfig, LatencyModel
@@ -53,6 +53,7 @@ __all__ = [
     "TopologyConfig",
     "TrafficAccountant",
     "TrafficSummary",
+    "TransitBillingLedger",
     "Underlay",
     "UnderlayConfig",
     "cached_generate",

@@ -19,12 +19,16 @@ marginal cost is zero.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (topology -> cost)
+    from repro.underlay.topology import InternetTopology
 
 
 @dataclass(frozen=True)
@@ -95,6 +99,32 @@ class CostModel:
             / self.params.transit_usd_per_mbps_month
         )
 
+    def per_as_bills(
+        self,
+        samples_by_as: Mapping[int, Mapping[int, float]],
+        *,
+        bucket_seconds: float = 300.0,
+        percentile: float | None = None,
+    ) -> dict[int, float]:
+        """Monthly transit bill per paying AS from bucketed byte samples.
+
+        ``samples_by_as[asn][bucket] = bytes`` is the shape both the
+        message-level :class:`~repro.underlay.traffic.TrafficAccountant`
+        and the flow-level swarm data plane produce; each AS is billed
+        at the configured percentile of its per-bucket Mbps rates —
+        the one code path for sampled-peak transit billing.
+        """
+        if bucket_seconds <= 0:
+            raise ConfigurationError("bucket width must be positive")
+        bills: dict[int, float] = {}
+        for asn, buckets in samples_by_as.items():
+            rates = np.fromiter(buckets.values(), dtype=float)
+            mbps = self.billable_mbps(
+                rates * 8.0 / 1e6 / bucket_seconds, percentile
+            )
+            bills[int(asn)] = self.transit_monthly_cost(mbps)
+        return bills
+
     def figure2_series(
         self, traffic_mbps: Sequence[float]
     ) -> list[dict[str, float]]:
@@ -114,3 +144,81 @@ class CostModel:
                 }
             )
         return rows
+
+
+class TransitBillingLedger:
+    """Per-AS sampled-peak transit accounting (satellite of the flow plane).
+
+    Records transit bytes against the *paying* AS in fixed-width time
+    buckets (five-minute samples by default, matching industry billing),
+    and turns them into monthly bills via
+    :meth:`CostModel.per_as_bills`.  Both the message-level
+    :class:`~repro.underlay.traffic.TrafficAccountant` and the
+    flow-level swarm data plane feed one of these, so percentile
+    billing has exactly one implementation.
+    """
+
+    def __init__(self, *, bucket_seconds: float = 300.0) -> None:
+        if bucket_seconds <= 0:
+            raise ConfigurationError("bucket width must be positive")
+        self.bucket_seconds = float(bucket_seconds)
+        #: payer ASN -> {bucket index -> bytes}
+        self.samples: dict[int, dict[int, float]] = defaultdict(
+            lambda: defaultdict(float)
+        )
+        #: payer ASN -> lifetime transit bytes
+        self.total_bytes: dict[int, float] = defaultdict(float)
+
+    def record(self, payer_asn: int, time_s: float, nbytes: float) -> None:
+        """Charge ``nbytes`` of transit to ``payer_asn`` at ``time_s``."""
+        if nbytes < 0:
+            raise ConfigurationError("transit bytes must be non-negative")
+        if nbytes == 0:
+            return
+        bucket = int(time_s // self.bucket_seconds)
+        self.samples[payer_asn][bucket] += nbytes
+        self.total_bytes[payer_asn] += nbytes
+
+    def merge(self, other: "TransitBillingLedger") -> None:
+        """Fold another ledger (same bucket width) into this one."""
+        if other.bucket_seconds != self.bucket_seconds:
+            raise ConfigurationError("cannot merge ledgers of differing buckets")
+        for asn, buckets in other.samples.items():
+            mine = self.samples[asn]
+            for bucket, nbytes in buckets.items():
+                mine[bucket] += nbytes
+            self.total_bytes[asn] += other.total_bytes[asn]
+
+    def bills(
+        self, model: CostModel, *, percentile: float | None = None
+    ) -> dict[int, float]:
+        """Monthly transit bill per paying AS (USD)."""
+        return model.per_as_bills(
+            self.samples,
+            bucket_seconds=self.bucket_seconds,
+            percentile=percentile,
+        )
+
+    def bills_by_tier(
+        self,
+        model: CostModel,
+        topology: "InternetTopology",
+        *,
+        percentile: float | None = None,
+    ) -> dict[str, dict[str, float]]:
+        """Bills aggregated per ISP tier: count, total and mean USD plus
+        total transit bytes — the per-tier rows of the locality sweep."""
+        per_as = self.bills(model, percentile=percentile)
+        out: dict[str, dict[str, float]] = {}
+        for asn, bill in per_as.items():
+            tier = topology.asys(asn).tier.name.lower()
+            row = out.setdefault(
+                tier, {"ases": 0, "total_usd": 0.0, "mean_usd": 0.0,
+                       "transit_bytes": 0.0}
+            )
+            row["ases"] += 1
+            row["total_usd"] += bill
+            row["transit_bytes"] += self.total_bytes[asn]
+        for row in out.values():
+            row["mean_usd"] = row["total_usd"] / row["ases"] if row["ases"] else 0.0
+        return out

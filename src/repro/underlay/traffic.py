@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Callable, Hashable, Optional
 
 from repro.underlay.autonomous_system import LinkType
+from repro.underlay.cost import CostModel, TransitBillingLedger
 from repro.underlay.routing import ASRouting
 from repro.underlay.topology import InternetTopology
 
@@ -86,6 +87,9 @@ class TrafficAccountant:
         self.transit_samples: dict[tuple[int, int], dict[int, int]] = defaultdict(
             lambda: defaultdict(int)
         )
+        #: per paying AS: bucketed transit samples for percentile billing —
+        #: the same ledger shape the flow-level data plane writes
+        self.billing = TransitBillingLedger(bucket_seconds=self.bucket_seconds)
         #: per message-kind byte counters (kind -> (intra, inter))
         self.kind_bytes: dict[str, list[int]] = defaultdict(lambda: [0, 0])
 
@@ -113,6 +117,9 @@ class TrafficAccountant:
                 payer = a if b in self.topology.asys(a).providers else b
                 self.paid_transit_bytes[payer] += size_bytes
                 self.transit_samples[key][bucket] += size_bytes
+                self.billing.record(
+                    payer, bucket * self.bucket_seconds, size_bytes
+                )
             else:
                 crossed_peering = True
         # classify the flow by its most expensive link class
@@ -131,6 +138,14 @@ class TrafficAccountant:
         self.paid_transit_bytes.clear()
         self.transit_samples.clear()
         self.kind_bytes.clear()
+        self.billing = TransitBillingLedger(bucket_seconds=self.bucket_seconds)
+
+    def per_as_bills(
+        self, model: CostModel, *, percentile: float | None = None
+    ) -> dict[int, float]:
+        """Monthly transit bill per paying AS, percentile-billed through
+        the shared :class:`~repro.underlay.cost.TransitBillingLedger`."""
+        return self.billing.bills(model, percentile=percentile)
 
     def peak_transit_mbps(self, link: tuple[int, int], percentile: float = 95.0) -> float:
         """Billable rate of a transit link: the given percentile of the

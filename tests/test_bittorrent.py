@@ -88,6 +88,43 @@ class TestTracker:
         with pytest.raises(OverlayError):
             Tracker(underlay, external_quota=0)
 
+    def _announce_lists(self, underlay, *, rng, policy=TrackerPolicy.RANDOM):
+        tr = Tracker(
+            underlay, policy=policy, peer_list_size=20, external_quota=4,
+            rng=rng,
+        )
+        ids = underlay.host_ids()
+        for h in ids[:-1]:
+            tr.announce(h)
+        return tr.announce(ids[-1])
+
+    def test_list_order_is_rng_threaded(self, underlay):
+        """Same tracker seed -> identical announce list, order included;
+        a different seed reorders (and resamples) it.  List order feeds
+        straight into neighbor sets, so it must come from the seeded RNG,
+        not dict iteration order."""
+        for policy in (TrackerPolicy.RANDOM, TrackerPolicy.BIASED):
+            a = self._announce_lists(underlay, rng=42, policy=policy)
+            b = self._announce_lists(underlay, rng=42, policy=policy)
+            c = self._announce_lists(underlay, rng=43, policy=policy)
+            assert a == b
+            assert a != c
+
+    def test_biased_list_interleaves_same_as_entries(self, underlay):
+        """The BIASED policy biases list *composition*, not position:
+        same-AS entries must not be clustered at the head of the list
+        (the backfill + shuffle would be broken otherwise)."""
+        got = self._announce_lists(
+            underlay, rng=7, policy=TrackerPolicy.BIASED
+        )
+        ids = underlay.host_ids()
+        my_asn = underlay.asn_of(ids[-1])
+        flags = [underlay.asn_of(p) == my_asn for p in got]
+        n_internal = sum(flags)
+        assert 0 < n_internal < len(flags)
+        # internal entries scattered, not a prefix block
+        assert flags != sorted(flags, reverse=True)
+
 
 class TestSwarm:
     def _run(self, policy, seed=22, n=50, cost_aware=False):

@@ -12,6 +12,7 @@ from repro.experiments import (
     run_fig4_examples,
     run_fig6,
     run_locality_savings,
+    run_locality_swarm,
     run_table1,
     run_testlab_arm,
 )
@@ -97,6 +98,24 @@ class TestFig6:
         floor = res.row_by("arm", "biased")
         no_floor = res.row_by("arm", "biased_no_floor")
         assert floor["intra_as_edge_fraction"] <= no_floor["intra_as_edge_fraction"]
+
+
+class TestLocalitySwarm:
+    def test_bias_shifts_bills_without_breaking_downloads(self):
+        res = run_locality_swarm(
+            n_hosts=300, seed=11, biases=(0.0, 0.8), n_pieces=16
+        )
+        base = res.row_by("bias", 0.0)
+        biased = res.row_by("bias", 0.8)
+        assert base["completion_rate"] == 1.0
+        assert biased["completion_rate"] == 1.0
+        # ISP side: locality moves bytes off transit and shrinks bills
+        assert biased["transit_fraction"] < 0.6 * base["transit_fraction"]
+        assert biased["stub_transit_bill_usd"] < base["stub_transit_bill_usd"]
+        # user side: the win-win regime — download times hold
+        assert (
+            biased["median_download_s"] < 1.3 * base["median_download_s"]
+        )
 
 
 class TestTestlab:
