@@ -1,0 +1,87 @@
+"""CI guard: fail when the service load-driver path regresses by >3x.
+
+Re-runs one knee step of the service benchmark — a Kademlia population
+driven open-loop at 120 ops/s, retrieve-only, per-origin gate of 1 —
+and compares the driver's wall-clock op rate against the loose floor in
+``service_floor.json``; the 3x headroom means only a real complexity
+regression trips it, not machine-to-machine noise.  If a fresh
+``BENCH_service.json`` exists at the repo root (written by
+``benchmarks/test_microbench_service.py``), its recorded headline — the
+saturation knee is visible, p99 ratio >= 5x across the sweep — is
+validated too.
+
+Usage:  PYTHONPATH=src python benchmarks/check_service_floor.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.service import Bootstrapper, ServiceConfig
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = HERE.parent
+REGRESSION_FACTOR = 3.0
+HEADLINE_KNEE_RATIO = 5.0
+N_HOSTS = 16
+SEED = 13
+RATE_PER_S = 120.0
+
+
+def _ops_per_sec_wall() -> float:
+    boot = Bootstrapper(
+        ServiceConfig(
+            overlay="kademlia", n_hosts=N_HOSTS, seed=SEED,
+            settle_ms=20_000.0, n_seed_keys=24,
+        )
+    )
+    boot.build()
+    boot.default_mix = lambda: [boot.ops.retrieve_spec()]
+    t0 = time.perf_counter()
+    report = boot.drive_sync(
+        process="poisson", rate_per_s=RATE_PER_S, duration_ms=15_000.0,
+        drain_ms=120_000.0, timeout_ms=None, concurrency_per_origin=1,
+    )
+    elapsed = time.perf_counter() - t0
+    boot.stop_sync()
+    assert report.succeeded == report.issued > 0
+    return report.issued / elapsed
+
+
+def main() -> int:
+    floor = json.loads((HERE / "service_floor.json").read_text())[
+        "service_driver_ops_per_sec_wall"
+    ]
+    limit = floor / REGRESSION_FACTOR
+
+    rate = _ops_per_sec_wall()
+    verdict = "OK" if rate >= limit else "REGRESSION"
+    print(
+        f"Service driver, retrieve mix at {RATE_PER_S:.0f} ops/s offered "
+        f"(N={N_HOSTS}): {rate:.0f} ops/s wall "
+        f"(floor {floor:.0f}, limit {limit:.0f}) -> {verdict}"
+    )
+    failed = rate < limit
+
+    bench = REPO_ROOT / "BENCH_service.json"
+    if bench.exists():
+        headline = json.loads(bench.read_text())["headline"]
+        ratio = headline["p99_ratio_max_over_min_rate"]
+        ok = ratio >= HEADLINE_KNEE_RATIO
+        print(
+            f"BENCH_service.json headline: p99 grows {ratio:.2f}x across "
+            f"the offered-load sweep (required >= "
+            f"{HEADLINE_KNEE_RATIO:.0f}x) -> {'OK' if ok else 'REGRESSION'}"
+        )
+        failed = failed or not ok
+    else:
+        print("BENCH_service.json not present - skipping headline validation")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Service-layer benchmark: the saturation-knee sweep.
+
+``test_service_artifact`` bootstraps one Kademlia population through the
+service control plane and drives it open-loop at increasing offered
+load, retrieve-only mix, with a per-origin concurrency gate of 1 — so
+the population has a well-defined service capacity and offered load
+beyond it turns into client queue wait.  Latency is measured from the
+*scheduled arrival* (coordinated-omission-free), so the sweep exhibits
+the textbook knee: p99 flat while offered < capacity, then rising
+sharply once the gate queues grow.  Offered rate vs
+p50/p95/p99/throughput for every step is recorded in
+``BENCH_service.json`` at the repo root, together with the driver's
+wall-clock op rate (the quantity ``check_service_floor.py`` guards).
+
+The headline claim asserted on every run: p99 at the highest offered
+rate is >= 5x the p99 at the lowest (the knee exists and the sweep
+straddles it).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.service import Bootstrapper, ServiceConfig
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+N_HOSTS = 16
+SEED = 13
+SWEEP_RATES = (20.0, 60.0, 120.0, 240.0, 480.0)
+DURATION_MS = 15_000.0
+DRAIN_MS = 120_000.0
+HEADLINE_KNEE_RATIO = 5.0
+
+
+def _boot() -> Bootstrapper:
+    boot = Bootstrapper(
+        ServiceConfig(
+            overlay="kademlia", n_hosts=N_HOSTS, seed=SEED,
+            settle_ms=20_000.0, n_seed_keys=24,
+        )
+    )
+    boot.build()
+    return boot
+
+
+def _drive(boot: Bootstrapper, rate: float) -> tuple[dict, float]:
+    """One knee step: retrieve-only open-loop drive, gated at one
+    in-flight op per origin.  Returns (report dict, wall seconds)."""
+    t0 = time.perf_counter()
+    report = boot.drive_sync(
+        process="poisson",
+        rate_per_s=rate,
+        duration_ms=DURATION_MS,
+        drain_ms=DRAIN_MS,
+        timeout_ms=None,  # unbounded wait: the queue delay IS the signal
+        concurrency_per_origin=1,
+    )
+    wall = time.perf_counter() - t0
+    return report.as_dict(), wall
+
+
+def test_service_artifact():
+    """Record the offered-load vs p99 sweep in BENCH_service.json and
+    hold the headline: the saturation knee is visible (>= 5x p99)."""
+    boot = _boot()
+    # retrieve-only mix: near-constant service time makes the knee sharp
+    boot.default_mix = lambda: [boot.ops.retrieve_spec()]
+
+    rows = []
+    wall_ops = wall_s = 0.0
+    for rate in SWEEP_RATES:
+        rep, wall = _drive(boot, rate)
+        rows.append({
+            "rate_per_s": rate,
+            "offered": rep["offered"],
+            "offered_per_s": rep["offered_per_s"],
+            "throughput_per_s": rep["throughput_per_s"],
+            "success_rate": rep["success_rate"],
+            "unfinished": rep["unfinished"],
+            "p50": rep["latency_ms"]["p50"],
+            "p95": rep["latency_ms"]["p95"],
+            "p99": rep["latency_ms"]["p99"],
+            "wall_s": round(wall, 3),
+        })
+        wall_ops += rep["issued"]
+        wall_s += wall
+    boot.stop_sync()
+
+    knee_ratio = round(rows[-1]["p99"] / rows[0]["p99"], 2)
+    artifact = {
+        "workload": {
+            "overlay": "kademlia",
+            "n_hosts": N_HOSTS,
+            "mix": "retrieve-only",
+            "concurrency_per_origin": 1,
+            "duration_ms": DURATION_MS,
+            "note": "open-loop Poisson arrivals; latency measured from "
+            "scheduled arrival (client queue wait included)",
+        },
+        "knee": rows,
+        "driver_wall": {
+            "ops": int(wall_ops),
+            "wall_s": round(wall_s, 3),
+            "ops_per_sec_wall": round(wall_ops / wall_s, 1),
+        },
+        "headline": {
+            "p99_ratio_max_over_min_rate": knee_ratio,
+            "claim": "p99 at the highest offered rate >= 5x the p99 at "
+            "the lowest (the sweep straddles the saturation knee)",
+        },
+    }
+    (REPO_ROOT / "BENCH_service.json").write_text(
+        json.dumps(artifact, indent=2) + "\n"
+    )
+
+    # below capacity the service keeps up ...
+    assert rows[0]["success_rate"] == 1.0
+    assert rows[0]["throughput_per_s"] >= 0.9 * rows[0]["offered_per_s"]
+    # ... beyond it the tail blows up: the knee is visible
+    assert knee_ratio >= HEADLINE_KNEE_RATIO, artifact["headline"]
+
+
+def test_arrival_generation_rate(benchmark):
+    """Arrival-schedule generation itself must be cheap: one 10^5-event
+    Poisson schedule per call."""
+    from repro.service import PoissonArrivals
+
+    proc = PoissonArrivals(1_000.0, rng=1)
+    times = benchmark(proc.times, 100_000.0)
+    assert len(times) > 50_000

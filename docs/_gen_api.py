@@ -22,7 +22,9 @@ def main() -> None:
     print("Performance notes for the underlay substrate (fast kernels, lazy")
     print("matrices, the substrate cache) live in")
     print("[docs/performance.md](performance.md); the fault-injection model")
-    print("and retry semantics in [docs/faults.md](faults.md).\n")
+    print("and retry semantics in [docs/faults.md](faults.md); the service")
+    print("layer (arrival processes, load drivers, the bootstrapper control")
+    print("plane) in [docs/service.md](service.md).\n")
     seen = set()
     for modinfo in sorted(
         pkgutil.walk_packages(repro.__path__, prefix="repro."),

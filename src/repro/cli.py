@@ -44,6 +44,7 @@ from repro.experiments import (
     run_locality_savings,
     run_locality_swarm,
     run_resilience_faults,
+    run_service_slo,
     run_table1,
     run_table2,
     run_testlab,
@@ -72,6 +73,9 @@ EXPERIMENTS: dict[str, tuple[Callable[..., Any], str]] = {
                  "locality-bias sweep over a 2000-peer swarm on the "
                  "flow-level data plane (slow; --arg smoke=true for the "
                  "CI-sized run)"),
+    "SERVICE": (run_service_slo,
+                "service-level SLO percentiles under open/closed-loop load "
+                "(slow; --arg smoke=true for the CI-sized run)"),
 }
 
 

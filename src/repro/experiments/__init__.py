@@ -17,7 +17,10 @@ answers its §5.4 open question with the fault-injection subsystem:
 lookup success and stretch under loss, partition, and crash scenarios;
 ``locality_swarm`` (id LOCALITY) sweeps tracker locality bias over a
 thousand-peer BitTorrent swarm on the flow-level data plane, reproducing
-the Cuevas et al. win-win vs ISP-unfairness regimes.
+the Cuevas et al. win-win vs ISP-unfairness regimes; ``service_slo``
+(id SERVICE) drives both overlays as *services* through the
+:mod:`repro.service` layer — open- and closed-loop load under Poisson,
+heavy-tail, and diurnal arrivals — and reports SLO latency percentiles.
 """
 
 from repro.experiments.common import (
@@ -43,6 +46,7 @@ from repro.experiments.framework_composite import run_framework_composite
 from repro.experiments.isp_bill import run_isp_bill
 from repro.experiments.locality_swarm import run_locality_swarm
 from repro.experiments.resilience_faults import run_resilience_faults
+from repro.experiments.service_slo import run_service_slo
 from repro.experiments.table1_systems import run_table1
 from repro.experiments.table2_impact import run_table2
 from repro.experiments.testlab import (
@@ -76,6 +80,7 @@ __all__ = [
     "run_locality_swarm",
     "run_observed",
     "run_resilience_faults",
+    "run_service_slo",
     "run_table1",
     "run_table2",
     "run_testlab",

@@ -21,6 +21,7 @@ from repro.metrics.latency_metrics import (
     delay_percentiles,
     neighbor_delay_stats,
     overlay_path_stretch,
+    percentile_key,
 )
 from repro.metrics.locality import (
     as_cluster_sizes,
@@ -77,6 +78,7 @@ __all__ = [
     "overhead_ratio",
     "overlay_path_stretch",
     "partition_risk",
+    "percentile_key",
     "reduction_percent",
     "resilience_summary",
     "table_reductions",

@@ -32,6 +32,7 @@ from typing import Iterator, Optional
 from repro.obs.export import registry_to_dict, to_json, to_prometheus_text
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
+    SLO_LATENCY_BUCKETS_MS,
     Counter,
     Gauge,
     Histogram,
@@ -50,6 +51,7 @@ __all__ = [
     "Metric",
     "MetricRegistry",
     "Observation",
+    "SLO_LATENCY_BUCKETS_MS",
     "TraceEvent",
     "Tracer",
     "active_registry",

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 import re
+from bisect import bisect_left
 from typing import Iterator, Mapping, Optional, Sequence
 
 from repro.errors import ObservabilityError
@@ -35,6 +36,18 @@ _NAME_RE = re.compile(r"^[a-z_][a-z0-9_]*$")
 #: counts (low end) and millisecond latencies (high end).
 DEFAULT_BUCKETS: tuple[float, ...] = (
     1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
+)
+
+#: SLO-focused latency buckets (milliseconds): finer resolution through
+#: the interactive range and coverage up to two minutes, so tail
+#: percentiles of a saturated service do not all collapse into the
+#: ``+Inf`` bucket the way they would with :data:`DEFAULT_BUCKETS`
+#: (which tops out at 5000 ms).  Used by the :mod:`repro.service` load
+#: drivers and the :class:`~repro.sim.requests.RequestManager` latency
+#: accounting.
+SLO_LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    1, 2.5, 5, 10, 25, 50, 75, 100, 150, 250, 400, 600, 1000, 1500,
+    2500, 5000, 10_000, 20_000, 40_000, 60_000, 120_000,
 )
 
 
@@ -213,11 +226,11 @@ class Histogram(Metric):
         if math.isnan(value):
             raise ObservabilityError(f"{self.name}: cannot observe NaN")
         cell = self._cell(labels)
-        idx = len(self.buckets)
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                idx = i
-                break
+        # First bucket whose inclusive upper bound admits the value; past
+        # the last bound lands in the +Inf bucket (index len(buckets)).
+        # bisect keeps this O(log n) — the load generators observe
+        # millions of samples per run.
+        idx = bisect_left(self.buckets, value)
         cell.counts[idx] += 1
         cell.count += 1
         cell.sum += value

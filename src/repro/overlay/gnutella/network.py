@@ -18,8 +18,9 @@ Policies (§4 / Figure 6):
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import networkx as nx
 import numpy as np
@@ -51,13 +52,24 @@ class NeighborPolicy(enum.Enum):
 
 @dataclass
 class SearchRecord:
-    """Bookkeeping for one search: origin, keyword, hits, chosen source."""
+    """Bookkeeping for one search: origin, keyword, hits, chosen source.
+
+    ``issued_at``/``first_hit_at`` are sim-clock stamps (ms); the first
+    hit's latency is what the service-level SLO drivers measure.
+    """
     guid: int
     origin: int
     keyword: int
     hits: list[int] = field(default_factory=list)
     downloaded_from: Optional[int] = None
     download_done: bool = False
+    issued_at: float = 0.0
+    first_hit_at: float = math.nan
+
+    @property
+    def first_hit_latency_ms(self) -> float:
+        """Issue-to-first-hit latency, ``nan`` while unanswered."""
+        return self.first_hit_at - self.issued_at
 
 
 class GnutellaNetwork:
@@ -105,6 +117,10 @@ class GnutellaNetwork:
         )
         self._guid_counter = 0
         self.searches: dict[int, SearchRecord] = {}
+        #: optional hook invoked with the :class:`SearchRecord` when its
+        #: *first* hit arrives — the completion signal the
+        #: :mod:`repro.service` load drivers attach to
+        self.search_listener: Optional[Callable[[SearchRecord], None]] = None
         #: set by :meth:`instrument`; nodes observe answered-query hop
         #: counts here (``None`` keeps the hot path uninstrumented)
         self.query_hops_hist: Optional[Histogram] = None
@@ -312,7 +328,9 @@ class GnutellaNetwork:
         return self._guid_counter
 
     def register_query(self, guid: int, origin: int, keyword: int) -> None:
-        self.searches[guid] = SearchRecord(guid=guid, origin=origin, keyword=keyword)
+        self.searches[guid] = SearchRecord(
+            guid=guid, origin=origin, keyword=keyword, issued_at=self.sim.now
+        )
 
     def query_origin(self, guid: int) -> Optional[int]:
         rec = self.searches.get(guid)
@@ -321,7 +339,12 @@ class GnutellaNetwork:
     def record_hit(self, guid: int, responder: int) -> None:
         rec = self.searches.get(guid)
         if rec is not None and responder not in rec.hits:
+            first = not rec.hits
             rec.hits.append(responder)
+            if first:
+                rec.first_hit_at = self.sim.now
+                if self.search_listener is not None:
+                    self.search_listener(rec)
 
     def record_download_complete(self, guid: int, receiver: int) -> None:
         rec = self.searches.get(guid)

@@ -28,7 +28,12 @@ from typing import Callable, Hashable, Optional
 
 from repro.errors import SimulationError
 from repro.obs import active_registry, active_tracer
-from repro.obs.registry import Counter, MetricRegistry
+from repro.obs.registry import (
+    SLO_LATENCY_BUCKETS_MS,
+    Counter,
+    Histogram,
+    MetricRegistry,
+)
 from repro.obs.tracing import Tracer
 from repro.sim.engine import EventHandle, Simulation
 
@@ -77,19 +82,21 @@ class RequestStats:
 
 
 class _Outstanding:
-    __slots__ = ("transmit", "on_fail", "policy", "attempt", "handle")
+    __slots__ = ("transmit", "on_fail", "policy", "attempt", "handle", "issued_at")
 
     def __init__(
         self,
         transmit: Callable[[], None],
         on_fail: Optional[Callable[[], None]],
         policy: RetryPolicy,
+        issued_at: float,
     ) -> None:
         self.transmit = transmit
         self.on_fail = on_fail
         self.policy = policy
         self.attempt = 0
         self.handle: Optional[EventHandle] = None
+        self.issued_at = issued_at
 
 
 class RequestManager:
@@ -114,6 +121,7 @@ class RequestManager:
         self.stats = RequestStats()
         self._retried_ctr: Optional[Counter] = None
         self._failed_ctr: Optional[Counter] = None
+        self._latency_hist: Optional[Histogram] = None
         self._tracer: Optional[Tracer] = None
         registry, tracer = active_registry(), active_tracer()
         if registry is not None or tracer is not None:
@@ -136,6 +144,13 @@ class RequestManager:
                 "Requests abandoned after exhausting retries, by component.",
                 ("component",),
             )
+            self._latency_hist = registry.histogram(
+                "request_latency_ms",
+                "Issue-to-resolve latency of completed requests, by "
+                "component (includes retransmission waits).",
+                ("component",),
+                buckets=SLO_LATENCY_BUCKETS_MS,
+            )
         if tracer is not None:
             self._tracer = tracer
 
@@ -153,16 +168,31 @@ class RequestManager:
         ``transmit`` performs the actual send and is re-invoked verbatim on
         every retry (same key, so a late reply to an earlier attempt still
         resolves it).  ``on_fail`` runs once if all attempts time out.
+
+        If ``transmit`` raises, the registration is rolled back before the
+        exception propagates: the key is not outstanding, no timeout is
+        armed, and the caller may re-issue it later.  (Leaving the entry
+        behind would wedge the key forever — no timeout would ever clear
+        it, and every re-issue would raise "already outstanding".)
         """
         if key in self._outstanding:
             raise SimulationError(f"request {key!r} is already outstanding")
-        entry = _Outstanding(transmit, on_fail, policy or self.policy)
+        entry = _Outstanding(transmit, on_fail, policy or self.policy, self.sim.now)
         self._outstanding[key] = entry
+        try:
+            transmit()
+            entry.handle = self.sim.schedule(
+                entry.policy.timeout_for_attempt(0), self._on_timeout, key
+            )
+        except BaseException:
+            # transmit() may have synchronously resolved/cancelled the key
+            # (popping it) before raising; only roll back our own entry.
+            if self._outstanding.get(key) is entry:
+                del self._outstanding[key]
+                if entry.handle is not None:
+                    entry.handle.cancel()
+            raise
         self.stats.issued += 1
-        transmit()
-        entry.handle = self.sim.schedule(
-            entry.policy.timeout_for_attempt(0), self._on_timeout, key
-        )
 
     def is_outstanding(self, key: Hashable) -> bool:
         return key in self._outstanding
@@ -180,6 +210,10 @@ class RequestManager:
         if entry.handle is not None:
             entry.handle.cancel()
         self.stats.resolved += 1
+        if self._latency_hist is not None:
+            self._latency_hist.observe(
+                self.sim.now - entry.issued_at, component=self.component
+            )
         return True
 
     def cancel(self, key: Hashable) -> bool:

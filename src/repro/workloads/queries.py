@@ -10,6 +10,9 @@ from repro.rng import SeedLike, ensure_rng
 from repro.underlay.hosts import Host
 from repro.workloads.content import ContentCatalog
 
+#: Supported arrival modes for :class:`QueryWorkload`.
+ARRIVAL_MODES = ("uniform", "poisson")
+
 
 @dataclass(frozen=True)
 class QueryEvent:
@@ -21,11 +24,27 @@ class QueryEvent:
 
 
 class QueryWorkload:
-    """Poisson-ish query arrivals over a host population.
+    """Query arrivals over a host population.
 
-    Each host issues ``queries_per_host`` searches at uniformly random
-    times within ``duration_ms``; targets come from the catalogue's
-    locality-correlated popularity model.
+    Two arrival modes:
+
+    - ``"uniform"`` (default): each host issues ``queries_per_host``
+      searches at independent uniformly random times within
+      ``duration_ms`` — the original testlab-style schedule (*not* a
+      Poisson process: interarrivals are not exponential and the horizon
+      is hard).
+    - ``"poisson"``: each host's searches form a Poisson process —
+      exponential interarrivals with mean ``duration_ms /
+      queries_per_host``, so the expected span of the schedule matches
+      ``duration_ms`` but individual events may fall beyond it (an
+      open-loop process has no hard horizon).  This is the per-host
+      arrival model the :mod:`repro.service` open-loop load drivers
+      build on.
+
+    Targets come from the catalogue's locality-correlated popularity
+    model in both modes.  The uniform mode's RNG draw sequence is
+    unchanged from before the ``arrival`` parameter existed, so seeded
+    schedules are bit-for-bit stable.
     """
 
     def __init__(
@@ -35,20 +54,28 @@ class QueryWorkload:
         *,
         queries_per_host: int = 1,
         duration_ms: float = 60_000.0,
+        arrival: str = "uniform",
         rng: SeedLike = None,
     ) -> None:
         if queries_per_host < 0:
             raise ConfigurationError("queries_per_host must be non-negative")
         if duration_ms <= 0:
             raise ConfigurationError("duration must be positive")
+        if arrival not in ARRIVAL_MODES:
+            raise ConfigurationError(
+                f"unknown arrival mode {arrival!r} (want one of {ARRIVAL_MODES})"
+            )
         self.hosts = list(hosts)
         self.catalog = catalog
         self.queries_per_host = queries_per_host
         self.duration_ms = duration_ms
+        self.arrival = arrival
         self._rng = ensure_rng(rng)
 
     def events(self) -> list[QueryEvent]:
         """Generate the full schedule, sorted by time."""
+        if self.arrival == "poisson":
+            return self._events_poisson()
         out: list[QueryEvent] = []
         for h in self.hosts:
             for _ in range(self.queries_per_host):
@@ -57,6 +84,29 @@ class QueryWorkload:
                         origin=h.host_id,
                         keyword=self.catalog.draw_query(h.asn),
                         at_ms=float(self._rng.uniform(0, self.duration_ms)),
+                    )
+                )
+        out.sort(key=lambda e: e.at_ms)
+        return out
+
+    def _events_poisson(self) -> list[QueryEvent]:
+        """Exponential-interarrival schedule (true per-host Poisson)."""
+        from repro.service.arrivals import exponential_interarrival_times
+
+        out: list[QueryEvent] = []
+        if self.queries_per_host == 0:
+            return out
+        mean_ms = self.duration_ms / self.queries_per_host
+        for h in self.hosts:
+            times = exponential_interarrival_times(
+                self._rng, self.queries_per_host, mean_ms
+            )
+            for t in times:
+                out.append(
+                    QueryEvent(
+                        origin=h.host_id,
+                        keyword=self.catalog.draw_query(h.asn),
+                        at_ms=float(t),
                     )
                 )
         out.sort(key=lambda e: e.at_ms)

@@ -29,6 +29,15 @@ class TestLatencyMetrics:
         with pytest.raises(ReproError):
             delay_percentiles([])
 
+    def test_fractional_percentiles_get_distinct_keys(self):
+        # regression: f"p{int(p)}" collapsed 99 and 99.9 onto one "p99"
+        # key, silently dropping whichever was computed first
+        d = delay_percentiles(list(range(1, 1001)), (50, 99, 99.9))
+        assert set(d) == {"p50", "p99", "p99.9"}
+        assert d["p99.9"] > d["p99"]
+        with pytest.raises(ReproError):
+            delay_percentiles([1.0, 2.0], (99, 99.0))
+
     def test_neighbor_delay_stats(self):
         g = nx.path_graph(4)
         stats = neighbor_delay_stats(g, lambda a, b: abs(a - b) * 10.0)

@@ -88,6 +88,40 @@ def test_histogram_quantiles_reasonable():
     assert h.quantile(0.9) == pytest.approx(90, abs=15)
 
 
+def test_histogram_bisect_matches_linear_scan():
+    # regression guard for the bisect rewrite of observe(): bucket
+    # assignment must match the linear reference exactly, including
+    # values sitting on bounds, below the first, above the last, and inf
+    buckets = (1.0, 2.5, 5.0, 10.0, 100.0)
+    probes = [
+        0.0, 0.5, 1.0, 1.0000001, 2.5, 2.6, 5.0, 9.99, 10.0, 10.01,
+        99.9, 100.0, 100.1, 1e9, math.inf, -3.0,
+    ]
+
+    def linear_index(value):
+        for i, bound in enumerate(buckets):
+            if value <= bound:
+                return i
+        return len(buckets)
+
+    for v in probes:
+        h = Histogram("h", buckets=buckets)
+        h.observe(v)
+        counts = list(h.bucket_counts().values())
+        assert counts.index(1) == linear_index(v), f"value {v} misbucketed"
+
+
+def test_slo_buckets_resolve_beyond_default_ceiling():
+    from repro.obs import SLO_LATENCY_BUCKETS_MS
+    from repro.obs.registry import DEFAULT_BUCKETS
+
+    assert max(SLO_LATENCY_BUCKETS_MS) > max(DEFAULT_BUCKETS)
+    assert list(SLO_LATENCY_BUCKETS_MS) == sorted(SLO_LATENCY_BUCKETS_MS)
+    h = Histogram("lat", buckets=SLO_LATENCY_BUCKETS_MS)
+    h.observe(30_000.0)  # would be +Inf under DEFAULT_BUCKETS
+    assert h.bucket_counts()[40_000.0] == 1
+
+
 def test_histogram_rejects_bad_buckets_and_nan():
     with pytest.raises(ObservabilityError):
         Histogram("h", buckets=())

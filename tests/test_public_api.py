@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.core",
     "repro.metrics",
     "repro.workloads",
+    "repro.service",
     "repro.experiments",
 ]
 

@@ -1,0 +1,114 @@
+"""Protocol op adapters: seeding, issue/complete paths, origin picking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.overlay.gnutella.network import GnutellaNetwork
+from repro.overlay.kademlia.network import KademliaNetwork
+from repro.service import GnutellaServiceOps, KademliaServiceOps
+from repro.sim.engine import Simulation
+from repro.underlay.network import Underlay, UnderlayConfig
+from repro.workloads import ContentCatalog
+
+
+def _kademlia_net(n_hosts=16, seed=3):
+    underlay = Underlay.generate(UnderlayConfig(n_hosts=n_hosts, seed=seed))
+    sim = Simulation()
+    bus, _ = underlay.message_bus(sim, with_accounting=False)
+    net = KademliaNetwork(underlay, sim, bus, rng=seed)
+    net.add_all_hosts()
+    net.bootstrap_all()
+    sim.run(until=10_000.0)
+    return net
+
+
+def _gnutella_net(n_hosts=16, seed=3):
+    underlay = Underlay.generate(UnderlayConfig(n_hosts=n_hosts, seed=seed))
+    sim = Simulation()
+    bus, _ = underlay.message_bus(sim, with_accounting=False)
+    net = GnutellaNetwork(underlay, sim, bus, rng=seed)
+    net.add_population(underlay.hosts)
+    net.bootstrap()
+    net.join_all()
+    sim.run(until=10_000.0)
+    return net
+
+
+class TestKademliaOps:
+    def test_seed_content_publishes_retrievable_keys(self):
+        net = _kademlia_net()
+        ops = KademliaServiceOps(net, rng=1)
+        fresh = ops.seed_content(5, settle_ms=10_000.0)
+        assert len(fresh) == 5 and ops.keys == fresh
+
+        outcomes = []
+        ops._issue_retrieve(ops.pick_origin(np.random.default_rng(2)),
+                            outcomes.append)
+        net.sim.run(until=net.sim.now + 20_000.0)
+        assert outcomes == [True]
+
+    def test_store_adds_key_on_success(self):
+        net = _kademlia_net()
+        ops = KademliaServiceOps(net, rng=1)
+        outcomes = []
+        ops._issue_store(ops.pick_origin(np.random.default_rng(2)),
+                         outcomes.append)
+        net.sim.run(until=net.sim.now + 20_000.0)
+        assert outcomes == [True]
+        assert len(ops.keys) == 1
+
+    def test_retrieve_with_no_known_keys_fails_fast(self):
+        net = _kademlia_net()
+        ops = KademliaServiceOps(net, rng=1)
+        outcomes = []
+        ops._issue_retrieve(0, outcomes.append)
+        assert outcomes == [False]  # synchronous, nothing to look up
+
+    def test_mix_weights_and_validation(self):
+        net = _kademlia_net()
+        ops = KademliaServiceOps(net, rng=1)
+        store, retrieve = ops.mix(store_fraction=0.25)
+        assert (store.name, retrieve.name) == ("kad_store", "kad_retrieve")
+        assert store.weight + retrieve.weight == pytest.approx(1.0)
+        with pytest.raises(ConfigurationError):
+            ops.mix(store_fraction=0.0)
+
+    def test_pick_origin_requires_online_nodes(self):
+        net = _kademlia_net()
+        ops = KademliaServiceOps(net, rng=1)
+        for node in net.nodes.values():
+            node.go_offline()
+        with pytest.raises(ConfigurationError):
+            ops.pick_origin(np.random.default_rng(1))
+
+
+class TestGnutellaOps:
+    def test_search_completes_on_first_hit(self):
+        net = _gnutella_net()
+        catalog = ContentCatalog(rng=2)
+        ops = GnutellaServiceOps(net, catalog, rng=1)
+        ops.seed_content(files_per_host=8)
+
+        rng = np.random.default_rng(3)
+        outcomes = []
+        for _ in range(20):
+            ops._issue_search(ops.pick_origin(rng), outcomes.append)
+        net.sim.run(until=net.sim.now + 20_000.0)
+        # popular catalogue + dense sharing: most searches hit, each
+        # exactly once (the listener pops its pending entry)
+        assert 0 < len(outcomes) <= 20
+        assert all(ok is True for ok in outcomes)
+
+    def test_listener_slot_is_exclusive(self):
+        net = _gnutella_net()
+        catalog = ContentCatalog(rng=2)
+        GnutellaServiceOps(net, catalog, rng=1)
+        with pytest.raises(ConfigurationError):
+            GnutellaServiceOps(net, catalog, rng=1)
+
+    def test_mix_is_search_only(self):
+        net = _gnutella_net()
+        ops = GnutellaServiceOps(net, ContentCatalog(rng=2), rng=1)
+        (spec,) = ops.mix()
+        assert spec.name == "gnu_search"

@@ -80,6 +80,46 @@ def test_duplicate_key_rejected_and_resolve_unknown_is_harmless():
     assert mgr.resolve("never-issued") is False
 
 
+def test_transmit_raise_rolls_back_registration():
+    # regression: a transmit() that raised used to leave the key
+    # registered with no timeout armed — wedged forever, and every
+    # re-issue rejected as "already outstanding"
+    sim = Simulation()
+    mgr = RequestManager(sim, policy=RetryPolicy(timeout_ms=100.0))
+
+    def broken():
+        raise OSError("send buffer full")
+
+    with pytest.raises(OSError):
+        mgr.issue("r1", broken)
+    assert not mgr.is_outstanding("r1")
+    assert mgr.outstanding == 0
+    assert sim.pending() == 0  # no orphaned timeout armed
+    assert mgr.stats.issued == 0
+
+    # the key is reusable: a later healthy issue proceeds normally
+    sends = []
+    mgr.issue("r1", lambda: sends.append(sim.now))
+    sim.schedule(10.0, mgr.resolve, "r1")
+    sim.run()
+    assert sends == [0.0]
+    assert mgr.stats.resolved == 1
+
+
+def test_request_latency_histogram_inside_observe():
+    with obs.observe() as session:
+        sim = Simulation()
+        mgr = RequestManager(
+            sim, policy=RetryPolicy(timeout_ms=1000.0), component="testproto"
+        )
+        mgr.issue("r1", lambda: None)
+        sim.schedule(40.0, mgr.resolve, "r1")
+        sim.run()
+    hist = session.registry.get("request_latency_ms")
+    assert hist.count(component="testproto") == 1
+    assert hist.sum(component="testproto") == pytest.approx(40.0)
+
+
 def test_per_request_policy_override():
     sim = Simulation()
     mgr = RequestManager(

@@ -95,6 +95,50 @@ class TestQueryWorkload:
             QueryWorkload(small_underlay.hosts, cat, queries_per_host=-1)
         with pytest.raises(ConfigurationError):
             QueryWorkload(small_underlay.hosts, cat, duration_ms=0)
+        with pytest.raises(ConfigurationError):
+            QueryWorkload(small_underlay.hosts, cat, arrival="weibull")
+
+    def test_uniform_default_is_bit_for_bit_stable(self, small_underlay):
+        # the arrival parameter must not perturb the historical uniform
+        # schedule: replay the exact draw sequence by hand and compare
+        cat = ContentCatalog(CatalogConfig(n_files=20), rng=1)
+        wl = QueryWorkload(
+            small_underlay.hosts, cat, queries_per_host=3,
+            duration_ms=1000.0, rng=7,
+        )
+        events = wl.events()
+
+        ref_cat = ContentCatalog(CatalogConfig(n_files=20), rng=1)
+        ref_rng = np.random.default_rng(7)
+        expected = []
+        for h in small_underlay.hosts:
+            for _ in range(3):
+                kw = ref_cat.draw_query(h.asn)
+                expected.append((h.host_id, kw, float(ref_rng.uniform(0, 1000.0))))
+        expected.sort(key=lambda e: e[2])
+        assert [(e.origin, e.keyword, e.at_ms) for e in events] == expected
+
+    def test_poisson_mode_draws_exponential_gaps(self, small_underlay):
+        cat = ContentCatalog(CatalogConfig(n_files=20), rng=1)
+        wl = QueryWorkload(
+            small_underlay.hosts, cat, queries_per_host=50,
+            duration_ms=10_000.0, arrival="poisson", rng=7,
+        )
+        events = wl.events()
+        assert len(events) == 50 * len(small_underlay.hosts)
+        times = [e.at_ms for e in events]
+        assert times == sorted(times)
+        # an open-loop Poisson schedule has a soft horizon: the expected
+        # span matches duration_ms but events may land beyond it
+        assert max(times) > 0
+        # per-host mean interarrival should be near duration/qph = 200ms
+        per_host: dict[int, list[float]] = {}
+        for e in events:
+            per_host.setdefault(e.origin, []).append(e.at_ms)
+        means = [
+            np.mean(np.diff(sorted(ts))) for ts in per_host.values()
+        ]
+        assert 120.0 < float(np.mean(means)) < 280.0
 
 
 class TestChurnTraces:
