@@ -1,0 +1,92 @@
+"""CI guard: fail when the bus send fast path regresses by >3x.
+
+Re-times the repeated-pair fan-out send workload (stream delay backend +
+LRU pair memo + bound metric cells) and compares it against the loose
+floor recorded in ``bus_floor.json`` — the 3x headroom means only a real
+complexity regression trips it (a per-send RNG construction, label
+validation back on the hot path, an O(n) lookup), not machine-to-machine
+noise.  If a fresh ``BENCH_bus.json`` exists at the repo root (written
+by ``benchmarks/test_microbench_bus.py``), its recorded headline speedup
+over the seed per-pair-RNG reference is validated too.
+
+Usage:  PYTHONPATH=src python benchmarks/check_bus_floor.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.sim import MessageBus, Simulation
+from repro.underlay import Underlay, UnderlayConfig
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = HERE.parent
+REGRESSION_FACTOR = 3.0
+HEADLINE_SPEEDUP = 3.0
+REPEATS = 5
+N_HOSTS = 300
+FAN_OUT = 64
+ROUNDS = 60
+
+
+def _sends_per_sec() -> float:
+    underlay = Underlay.generate(
+        UnderlayConfig(n_hosts=N_HOSTS, seed=23, delay_backend="stream")
+    )
+    ids = underlay.host_ids()
+    sim = Simulation()
+    bus = MessageBus(sim, underlay)
+    for h in ids[: FAN_OUT + 1]:
+        bus.register(h, lambda m: None)
+    src, dsts = ids[0], ids[1 : FAN_OUT + 1]
+
+    def run() -> float:
+        t0 = time.perf_counter()
+        for _ in range(ROUNDS):
+            bus.send_many(src, dsts, "PING")
+        elapsed = time.perf_counter() - t0
+        sim.run()  # drain outside the timed region
+        return elapsed
+
+    run()  # warm the pair memo, bound cells, imports
+    best = min(run() for _ in range(REPEATS))
+    return (ROUNDS * FAN_OUT) / best
+
+
+def main() -> int:
+    floor = json.loads((HERE / "bus_floor.json").read_text())[
+        "stream_memo_sends_per_sec"
+    ]
+    limit = floor / REGRESSION_FACTOR
+
+    rate = _sends_per_sec()
+    verdict = "OK" if rate >= limit else "REGRESSION"
+    print(
+        f"bus send fast path (stream+memo, fan-out {FAN_OUT}): "
+        f"{rate / 1e3:.0f} k sends/s "
+        f"(floor {floor / 1e3:.0f} k, limit {limit / 1e3:.0f} k) -> {verdict}"
+    )
+    failed = rate < limit
+
+    bench = REPO_ROOT / "BENCH_bus.json"
+    if bench.exists():
+        headline = json.loads(bench.read_text())["headline"]
+        speedup = headline["per_send_speedup"]
+        ok = speedup >= HEADLINE_SPEEDUP
+        print(
+            f"BENCH_bus.json headline: {speedup:.2f}x over the seed "
+            f"per-pair-RNG reference (required >= {HEADLINE_SPEEDUP:.0f}x) -> "
+            f"{'OK' if ok else 'REGRESSION'}"
+        )
+        failed = failed or not ok
+    else:
+        print("BENCH_bus.json not present - skipping headline validation")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,161 @@
+"""Micro-benchmarks of the message data plane (PR 9).
+
+``test_bus_artifact`` writes ``BENCH_bus.json`` at the repo root with
+three sections:
+
+- **per_send**: wall cost of the bus send fast path over a repeated-pair
+  fan-out workload (protocol traffic revisits a bounded neighbour set),
+  with delays served by the streaming kernel's LRU pair memo, against
+  the retained seed scalar path
+  (:meth:`~repro.underlay.latency.LatencyModel.one_way_delay_reference`,
+  which constructs one ``np.random.default_rng`` per message for the
+  jitter draw).  The headline claim — >= 3x sends/sec over the seed
+  reference — is asserted on every run.
+- **fig5_smoke**: end-to-end events/sec of the instrumented FIG5
+  reproduction (the full Gnutella overlay driving the bus), so the
+  artifact records a whole-experiment number, not just the hot loop.
+- **stream_rss**: peak RSS of a forked child serving 10^5-host delay
+  rows through the streaming backend (the full matrix would be ~75 GiB).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import pathlib
+import resource
+import time
+
+from repro import obs
+from repro.experiments import run_fig5
+from repro.sim import MessageBus, Simulation
+from repro.underlay import Underlay, UnderlayConfig
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+N_HOSTS = 300
+FAN_OUT = 64        # neighbour-set size each source revisits
+ROUNDS = 120        # fan-out rounds per measurement
+REPEATS = 5         # best-of repeats per arm
+
+
+class _ReferenceLatency:
+    """LatencyProvider adapter over the retained seed scalar path."""
+
+    def __init__(self, underlay: Underlay) -> None:
+        self._model = underlay.latency
+        self._host = underlay.host
+
+    def one_way_delay(self, src, dst) -> float:
+        return self._model.one_way_delay_reference(self._host(src), self._host(dst))
+
+
+def _fanout_workload(bus: MessageBus, sim: Simulation, ids) -> float:
+    """Time ROUNDS fan-outs of FAN_OUT sends from one source (seconds),
+    draining the event heap outside the timed region."""
+    src = ids[0]
+    dsts = ids[1 : FAN_OUT + 1]
+    bus.send_many(src, dsts, "PING")  # warm memo/cells/imports
+    sim.run()
+    t0 = time.perf_counter()
+    for _ in range(ROUNDS):
+        bus.send_many(src, dsts, "PING")
+    elapsed = time.perf_counter() - t0
+    sim.run()
+    return elapsed
+
+
+def _per_send_section(underlay: Underlay) -> dict:
+    ids = underlay.host_ids()
+    n_sends = ROUNDS * FAN_OUT
+
+    def measure(latency) -> float:
+        sim = Simulation()
+        bus = MessageBus(sim, latency)
+        for h in ids[: FAN_OUT + 1]:
+            bus.register(h, lambda m: None)
+        return min(_fanout_workload(bus, sim, ids) for _ in range(REPEATS))
+
+    stream_s = measure(underlay)  # stream backend + pair memo
+    reference_s = measure(_ReferenceLatency(underlay))
+    memo = underlay.delay_kernel.memo_info()
+    return {
+        "n_sends": n_sends,
+        "fan_out": FAN_OUT,
+        "stream_us_per_send": round(stream_s / n_sends * 1e6, 3),
+        "reference_us_per_send": round(reference_s / n_sends * 1e6, 3),
+        "stream_sends_per_sec": round(n_sends / stream_s),
+        "reference_sends_per_sec": round(n_sends / reference_s),
+        "memo": {"hits": memo.hits, "misses": memo.misses},
+    }
+
+
+def _fig5_smoke_section() -> dict:
+    t0 = time.perf_counter()
+    with obs.observe() as session:
+        run_fig5(n_hosts=60, cache_fill=40, seed=11)
+    elapsed = time.perf_counter() - t0
+    return {
+        "trace_events": session.tracer.emitted,
+        "elapsed_s": round(elapsed, 3),
+        "events_per_sec": round(session.tracer.emitted / elapsed),
+    }
+
+
+def _stream_rss_probe(n_hosts: int, tx) -> None:
+    underlay = Underlay.generate(UnderlayConfig(n_hosts=n_hosts, seed=17))
+    kernel = underlay.delay_kernel
+    cols = list(range(0, n_hosts, max(1, n_hosts // 4096)))[:4096]
+    for row in (0, n_hosts // 2, n_hosts - 1):
+        kernel.delay_row(row, cols)
+    tx.send(
+        {
+            "n_hosts": n_hosts,
+            "backend": underlay.delay_backend,
+            "kernel_mb": round(kernel.memory_bytes() / 2**20, 2),
+            "peak_rss_mb": round(
+                resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1
+            ),
+            "matrix_would_need_gb": round(n_hosts * n_hosts * 8 / 2**30, 1),
+        }
+    )
+    tx.close()
+
+
+def _stream_rss_section(n_hosts: int = 100_000) -> dict:
+    ctx = multiprocessing.get_context("fork")
+    rx, tx = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_stream_rss_probe, args=(n_hosts, tx))
+    proc.start()
+    result = rx.recv()
+    proc.join()
+    assert proc.exitcode == 0
+    return result
+
+
+def test_bus_artifact():
+    """Record the data-plane numbers in BENCH_bus.json and hold the
+    headline claim: the stream+memo send path sustains >= 3x the
+    sends/sec of the retained seed reference."""
+    underlay = Underlay.generate(
+        UnderlayConfig(n_hosts=N_HOSTS, seed=23, delay_backend="stream")
+    )
+    artifact = {
+        "per_send": _per_send_section(underlay),
+        "fig5_smoke": _fig5_smoke_section(),
+        "stream_rss": _stream_rss_section(),
+    }
+    per_send = artifact["per_send"]
+    speedup = (
+        per_send["stream_sends_per_sec"] / per_send["reference_sends_per_sec"]
+    )
+    artifact["headline"] = {
+        "per_send_speedup": round(speedup, 2),
+        "claim": "stream+memo bus sends >= 3x the seed per-pair-RNG path",
+    }
+    (REPO_ROOT / "BENCH_bus.json").write_text(json.dumps(artifact, indent=2) + "\n")
+
+    assert speedup >= 3.0, artifact["headline"]
+    assert artifact["stream_rss"]["backend"] == "stream"
+    assert artifact["stream_rss"]["peak_rss_mb"] < 2048, artifact["stream_rss"]
+    assert artifact["fig5_smoke"]["trace_events"] > 0

@@ -34,8 +34,10 @@ from repro.obs.registry import (
     DEFAULT_BUCKETS,
     SLO_LATENCY_BUCKETS_MS,
     Counter,
+    CounterCell,
     Gauge,
     Histogram,
+    HistogramCell,
     Metric,
     MetricRegistry,
     default_registry,
@@ -46,8 +48,10 @@ from repro.obs.tracing import TraceEvent, Tracer, trace_digest
 __all__ = [
     "DEFAULT_BUCKETS",
     "Counter",
+    "CounterCell",
     "Gauge",
     "Histogram",
+    "HistogramCell",
     "Metric",
     "MetricRegistry",
     "Observation",

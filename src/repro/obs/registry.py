@@ -12,8 +12,12 @@ exports (:mod:`repro.obs.export`) are mechanical:
   bucket counts in O(buckets) memory, clamped to the observed min/max.
 
 Every metric is keyed by name plus a tuple of label *values* (the label
-*names* are declared once at creation).  A process-global default
-registry backs ad-hoc use; tests reset it via
+*names* are declared once at creation).  Hot paths that increment the
+same label cell per event (the message bus, the load drivers) bind the
+cell once via :meth:`Counter.labelled` / :meth:`Histogram.labelled` and
+then pay one dict access per update instead of re-validating and
+re-stringifying the label mapping on every call.  A process-global
+default registry backs ad-hoc use; tests reset it via
 :func:`reset_default_registry`.
 
 Naming convention (see ``docs/observability.md``): lowercase snake_case,
@@ -87,6 +91,31 @@ class Metric:
         raise NotImplementedError
 
 
+class CounterCell:
+    """A bound view of one counter label cell (see
+    :meth:`Counter.labelled`): the label mapping is validated and
+    stringified once at bind time, so :meth:`inc` is a single dict
+    update.  The view stays valid across :meth:`Counter.clear` /
+    :meth:`MetricRegistry.reset` (the cell re-materialises at zero on
+    the next increment)."""
+
+    __slots__ = ("_cells", "_key")
+
+    def __init__(self, cells: dict, key: tuple) -> None:
+        self._cells = cells
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObservabilityError(f"counters only go up (amount={amount})")
+        cells = self._cells
+        key = self._key
+        cells[key] = cells.get(key, 0.0) + amount
+
+    def value(self) -> float:
+        return self._cells.get(self._key, 0.0)
+
+
 class Counter(Metric):
     """Monotonically increasing per-label totals."""
 
@@ -105,6 +134,14 @@ class Counter(Metric):
             )
         key = self._key(labels)
         self._cells[key] = self._cells.get(key, 0.0) + amount
+
+    def labelled(self, **labels: object) -> CounterCell:
+        """Bind one label cell for O(1) increments on a hot path.
+
+        ``counter.labelled(kind="PING").inc()`` is equivalent to
+        ``counter.inc(kind="PING")`` cell for cell.
+        """
+        return CounterCell(self._cells, self._key(labels))
 
     def value(self, **labels: object) -> float:
         return self._cells.get(self._key(labels), 0.0)
@@ -184,6 +221,37 @@ class _HistCell:
         self.max = -math.inf
 
 
+class HistogramCell:
+    """A bound view of one histogram label cell (see
+    :meth:`Histogram.labelled`): label validation happens once at bind
+    time, so :meth:`observe` is one dict access plus the bucket bisect.
+    Stays valid across :meth:`Histogram.clear` (the cell
+    re-materialises empty on the next observation)."""
+
+    __slots__ = ("_cells", "_key", "_buckets")
+
+    def __init__(self, cells: dict, key: tuple, buckets: tuple) -> None:
+        self._cells = cells
+        self._key = key
+        self._buckets = buckets
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if value != value:  # NaN
+            raise ObservabilityError("cannot observe NaN")
+        cell = self._cells.get(self._key)
+        if cell is None:
+            cell = self._cells[self._key] = _HistCell(len(self._buckets))
+        idx = bisect_left(self._buckets, value)
+        cell.counts[idx] += 1
+        cell.count += 1
+        cell.sum += value
+        if value < cell.min:
+            cell.min = value
+        if value > cell.max:
+            cell.max = value
+
+
 class Histogram(Metric):
     """Fixed-bucket histogram with streaming quantile estimates.
 
@@ -236,6 +304,11 @@ class Histogram(Metric):
         cell.sum += value
         cell.min = min(cell.min, value)
         cell.max = max(cell.max, value)
+
+    def labelled(self, **labels: object) -> HistogramCell:
+        """Bind one label cell for O(1)-overhead observations on a hot
+        path; equivalent to :meth:`observe` with the same labels."""
+        return HistogramCell(self._cells, self._key(labels), self.buckets)
 
     # -- accessors ------------------------------------------------------------
     def count(self, **labels: object) -> int:

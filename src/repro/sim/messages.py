@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.obs import active_registry, active_tracer
-from repro.obs.registry import Counter, MetricRegistry
+from repro.obs.registry import Counter, CounterCell, MetricRegistry
 from repro.obs.tracing import Tracer
 from repro.sim.engine import Simulation
 
@@ -40,7 +40,7 @@ class TrafficObserver(Protocol):
         ...
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """An in-flight protocol message.
 
@@ -49,6 +49,10 @@ class Message:
     delivery latency is independent of size (the surveyed systems reason
     about propagation delay, not bandwidth-limited transfer; bulk transfer
     is modelled separately by the BitTorrent swarm).
+
+    A slots dataclass: the bus allocates one per send, so the instance
+    dict matters at fan-out scale — and a handler assigning a misspelled
+    attribute fails loudly instead of silently growing the message.
     """
 
     src: Hashable
@@ -58,7 +62,7 @@ class Message:
     size_bytes: int = 64
 
 
-@dataclass
+@dataclass(slots=True)
 class BusStats:
     """Aggregate counters maintained by the bus."""
 
@@ -113,6 +117,14 @@ class MessageBus:
         self._bytes_ctr: Optional[Counter] = None
         self._delivered_ctr: Optional[Counter] = None
         self._dropped_ctr: Optional[Counter] = None
+        # Bound label cells: ``kind`` -> (sent, bytes, delivered) cell
+        # views, populated lazily per kind (None when uninstrumented) —
+        # the send fast path pays one dict lookup instead of label
+        # validation per message.
+        self._kind_cells: Optional[dict[str, tuple]] = None
+        self._drop_fault_cell: Optional[CounterCell] = None
+        self._drop_loss_cell: Optional[CounterCell] = None
+        self._drop_nohandler_cell: Optional[CounterCell] = None
         self._tracer: Optional[Tracer] = None
         registry, tracer = active_registry(), active_tracer()
         if registry is not None or tracer is not None:
@@ -140,8 +152,24 @@ class MessageBus:
                 "bus_messages_dropped_total", "Messages dropped, by reason.",
                 ("reason",),
             )
+            self._kind_cells = {}
+            self._drop_fault_cell = self._dropped_ctr.labelled(reason="fault")
+            self._drop_loss_cell = self._dropped_ctr.labelled(reason="loss")
+            self._drop_nohandler_cell = self._dropped_ctr.labelled(
+                reason="no_handler"
+            )
         if tracer is not None:
             self._tracer = tracer
+
+    def _bind_kind(self, kind: str) -> tuple:
+        """Bind (and cache) the per-kind counter cells."""
+        cells = (
+            self._sent_ctr.labelled(kind=kind),
+            self._bytes_ctr.labelled(kind=kind),
+            self._delivered_ctr.labelled(kind=kind),
+        )
+        self._kind_cells[kind] = cells
+        return cells
 
     # -- failure injection --------------------------------------------------------
     @property
@@ -184,6 +212,77 @@ class MessageBus:
     def add_observer(self, observer: TrafficObserver) -> None:
         self._observers.append(observer)
 
+    def _send_one(
+        self,
+        src: Hashable,
+        dst: Hashable,
+        kind: str,
+        payload: Any,
+        size_bytes: int,
+        extra_delay: float,
+        cells: Optional[tuple],
+        batch: Optional[list],
+    ) -> Message:
+        """The single inline send path shared by :meth:`send` and
+        :meth:`send_many`: accounting, bound-cell metrics, fault hook,
+        loss draw, delay validation, then either a direct ``schedule``
+        (``batch is None``) or an append to the caller's batch list.
+        """
+        msg = Message(src, dst, kind, payload, size_bytes)
+        delay = self._latency.one_way_delay(src, dst) + extra_delay
+        stats = self.stats
+        stats.sent += 1
+        stats.bytes_sent += size_bytes
+        by_kind = stats.by_kind
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        for obs in self._observers:
+            obs.observe(src, dst, size_bytes, kind)
+        if cells is not None:
+            cells[0].inc()
+            cells[1].inc(size_bytes)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(
+                "bus", "send", time=self._sim.now,
+                src=src, dst=dst, kind=kind, size=size_bytes,
+            )
+        if self._fault_hook is not None:
+            penalty = self._fault_hook(src, dst, kind)
+            if penalty == math.inf:
+                stats.dropped_fault += 1
+                if self._drop_fault_cell is not None:
+                    self._drop_fault_cell.inc()
+                if tracer is not None:
+                    tracer.emit(
+                        "bus", "drop", time=self._sim.now,
+                        src=src, dst=dst, kind=kind, reason="fault",
+                    )
+                return msg
+            delay += penalty
+        if delay < 0.0:
+            # a negative extra_delay/fault penalty larger than the
+            # underlay latency would schedule delivery before the send
+            # and silently corrupt event ordering
+            raise SimulationError(
+                f"negative total delay {delay} for {kind} {src}->{dst} "
+                f"(extra_delay/fault penalty exceeds the underlay latency)"
+            )
+        if self._loss_rate and self._loss_rng.random() < self._loss_rate:
+            stats.dropped_loss += 1
+            if self._drop_loss_cell is not None:
+                self._drop_loss_cell.inc()
+            if tracer is not None:
+                tracer.emit(
+                    "bus", "drop", time=self._sim.now,
+                    src=src, dst=dst, kind=kind, reason="loss",
+                )
+            return msg
+        if batch is None:
+            self._sim.schedule(delay, self._deliver, msg)
+        else:
+            batch.append((delay, self._deliver, (msg,)))
+        return msg
+
     def send(
         self,
         src: Hashable,
@@ -193,49 +292,19 @@ class MessageBus:
         size_bytes: int = 64,
         extra_delay: float = 0.0,
     ) -> Message:
-        """Send a message; it arrives after the underlay one-way delay."""
+        """Send a message; it arrives after the underlay one-way delay.
+
+        Raises :class:`SimulationError` if the total delay (underlay +
+        ``extra_delay`` + fault penalty) would be negative.
+        """
         if size_bytes < 0:
             raise SimulationError(f"negative message size: {size_bytes}")
-        msg = Message(src=src, dst=dst, kind=kind, payload=payload, size_bytes=size_bytes)
-        delay = self._latency.one_way_delay(src, dst) + extra_delay
-        self.stats.sent += 1
-        self.stats.bytes_sent += size_bytes
-        self.stats.by_kind[kind] = self.stats.by_kind.get(kind, 0) + 1
-        for obs in self._observers:
-            obs.observe(src, dst, size_bytes, kind)
-        if self._sent_ctr is not None:
-            self._sent_ctr.inc(kind=kind)
-            self._bytes_ctr.inc(size_bytes, kind=kind)
-        if self._tracer is not None:
-            self._tracer.emit(
-                "bus", "send", time=self._sim.now,
-                src=src, dst=dst, kind=kind, size=size_bytes,
-            )
-        if self._fault_hook is not None:
-            penalty = self._fault_hook(src, dst, kind)
-            if penalty == math.inf:
-                self.stats.dropped_fault += 1
-                if self._dropped_ctr is not None:
-                    self._dropped_ctr.inc(reason="fault")
-                if self._tracer is not None:
-                    self._tracer.emit(
-                        "bus", "drop", time=self._sim.now,
-                        src=src, dst=dst, kind=kind, reason="fault",
-                    )
-                return msg
-            delay += penalty
-        if self._loss_rate and self._loss_rng.random() < self._loss_rate:
-            self.stats.dropped_loss += 1
-            if self._dropped_ctr is not None:
-                self._dropped_ctr.inc(reason="loss")
-            if self._tracer is not None:
-                self._tracer.emit(
-                    "bus", "drop", time=self._sim.now,
-                    src=src, dst=dst, kind=kind, reason="loss",
-                )
-            return msg
-        self._sim.schedule(delay, self._deliver, msg)
-        return msg
+        cells = self._kind_cells
+        if cells is not None:
+            cells = cells.get(kind) or self._bind_kind(kind)
+        return self._send_one(
+            src, dst, kind, payload, size_bytes, extra_delay, cells, None
+        )
 
     def send_many(
         self,
@@ -258,54 +327,17 @@ class MessageBus:
         """
         if size_bytes < 0:
             raise SimulationError(f"negative message size: {size_bytes}")
+        cells = self._kind_cells
+        if cells is not None:
+            cells = cells.get(kind) or self._bind_kind(kind)
         messages: list[Message] = []
         batch: list[tuple[float, Callable[..., None], tuple]] = []
-        stats = self.stats
-        tracer = self._tracer
-        now = self._sim.now
+        send_one = self._send_one
         for dst in dsts:
-            msg = Message(
-                src=src, dst=dst, kind=kind, payload=payload, size_bytes=size_bytes
+            messages.append(
+                send_one(src, dst, kind, payload, size_bytes, extra_delay,
+                         cells, batch)
             )
-            messages.append(msg)
-            delay = self._latency.one_way_delay(src, dst) + extra_delay
-            stats.sent += 1
-            stats.bytes_sent += size_bytes
-            stats.by_kind[kind] = stats.by_kind.get(kind, 0) + 1
-            for obs in self._observers:
-                obs.observe(src, dst, size_bytes, kind)
-            if self._sent_ctr is not None:
-                self._sent_ctr.inc(kind=kind)
-                self._bytes_ctr.inc(size_bytes, kind=kind)
-            if tracer is not None:
-                tracer.emit(
-                    "bus", "send", time=now,
-                    src=src, dst=dst, kind=kind, size=size_bytes,
-                )
-            if self._fault_hook is not None:
-                penalty = self._fault_hook(src, dst, kind)
-                if penalty == math.inf:
-                    stats.dropped_fault += 1
-                    if self._dropped_ctr is not None:
-                        self._dropped_ctr.inc(reason="fault")
-                    if tracer is not None:
-                        tracer.emit(
-                            "bus", "drop", time=now,
-                            src=src, dst=dst, kind=kind, reason="fault",
-                        )
-                    continue
-                delay += penalty
-            if self._loss_rate and self._loss_rng.random() < self._loss_rate:
-                stats.dropped_loss += 1
-                if self._dropped_ctr is not None:
-                    self._dropped_ctr.inc(reason="loss")
-                if tracer is not None:
-                    tracer.emit(
-                        "bus", "drop", time=now,
-                        src=src, dst=dst, kind=kind, reason="loss",
-                    )
-                continue
-            batch.append((delay, self._deliver, (msg,)))
         if batch:
             self._sim.schedule_many(batch)
         return messages
@@ -314,8 +346,8 @@ class MessageBus:
         handler = self._handlers.get(msg.dst)
         if handler is None:
             self.stats.dropped_no_handler += 1
-            if self._dropped_ctr is not None:
-                self._dropped_ctr.inc(reason="no_handler")
+            if self._drop_nohandler_cell is not None:
+                self._drop_nohandler_cell.inc()
             if self._tracer is not None:
                 self._tracer.emit(
                     "bus", "drop", time=self._sim.now,
@@ -323,6 +355,10 @@ class MessageBus:
                 )
             return
         self.stats.delivered += 1
-        if self._delivered_ctr is not None:
-            self._delivered_ctr.inc(kind=msg.kind)
+        cells = self._kind_cells
+        if cells is not None:
+            kc = cells.get(msg.kind)
+            if kc is None:
+                kc = self._bind_kind(msg.kind)
+            kc[2].inc()
         handler(msg)

@@ -19,7 +19,12 @@ from repro.underlay.cache import (
 from repro.underlay.cost import CostModel, CostParams, TransitBillingLedger
 from repro.underlay.geometry import Position, pairwise_distances
 from repro.underlay.hosts import ACCESS_CLASSES, Host, HostFactory, PeerResources
-from repro.underlay.latency import LatencyConfig, LatencyModel
+from repro.underlay.latency import (
+    LatencyConfig,
+    LatencyModel,
+    StreamingDelayKernel,
+    pair_jitter,
+)
 from repro.underlay.mobility import (
     MobilityConfig,
     MobilityTrace,
@@ -27,7 +32,11 @@ from repro.underlay.mobility import (
     generate_mobility,
     refresh_tradeoff,
 )
-from repro.underlay.network import Underlay, UnderlayConfig
+from repro.underlay.network import (
+    STREAM_AUTO_HOST_THRESHOLD,
+    Underlay,
+    UnderlayConfig,
+)
 from repro.underlay.routing import ASRouting
 from repro.underlay.topology import InternetTopology, TopologyConfig, generate_topology
 from repro.underlay.traffic import TrafficAccountant, TrafficSummary
@@ -48,6 +57,8 @@ __all__ = [
     "MobilityTrace",
     "PeerResources",
     "Position",
+    "STREAM_AUTO_HOST_THRESHOLD",
+    "StreamingDelayKernel",
     "SubstrateCache",
     "Tier",
     "TopologyConfig",
@@ -63,6 +74,7 @@ __all__ = [
     "disable_default_cache",
     "generate_mobility",
     "generate_topology",
+    "pair_jitter",
     "pairwise_distances",
     "refresh_tradeoff",
     "substrate_digest",

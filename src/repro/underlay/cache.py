@@ -134,7 +134,13 @@ class SubstrateCache:
         return underlay
 
     def _load_disk(self, key: str, underlay: Underlay) -> bool:
-        """Inject matrices from a disk entry; False if absent/unusable."""
+        """Inject matrices from a disk entry; False if absent/unusable.
+
+        Stream-backend entries carry only the AS-level matrices (the
+        host latency matrix is never materialised at stream scale);
+        matrix-backend entries need the host matrix too, so an entry
+        written by a stream-mode run does not warm a matrix-mode one.
+        """
         path = self._npz_path(key)
         if not path.exists():
             return False
@@ -142,10 +148,15 @@ class SubstrateCache:
             with np.load(path) as data:
                 as_hops = data["as_hops"]
                 as_delay = data["as_delay"]
-                host_latency = data["host_latency"]
+                host_latency = (
+                    data["host_latency"] if "host_latency" in data.files else None
+                )
+            if underlay.delay_backend != "stream" and host_latency is None:
+                return False
             underlay.routing.warm_hops(as_hops)
             underlay.latency.warm_as_delay(as_delay)
-            underlay.warm_latency_matrix(host_latency)
+            if underlay.delay_backend != "stream":
+                underlay.warm_latency_matrix(host_latency)
             return True
         except Exception:
             # corrupt or stale entry: fall back to a clean rebuild
@@ -165,13 +176,16 @@ class SubstrateCache:
         underlay.precompute()
         path = self._npz_path(key)
         tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp.npz")
+        arrays = {
+            "as_hops": underlay.routing.hop_matrix(),
+            "as_delay": underlay.latency.as_delay,
+        }
+        if underlay.delay_backend != "stream":
+            # stream mode never materialises the O(n^2) host matrix;
+            # its disk entries hold only the AS-level state
+            arrays["host_latency"] = underlay.latency_matrix
         try:
-            np.savez(
-                tmp,
-                as_hops=underlay.routing.hop_matrix(),
-                as_delay=underlay.latency.as_delay,
-                host_latency=underlay.latency_matrix,
-            )
+            np.savez(tmp, **arrays)
             tmp.replace(path)
         finally:
             tmp.unlink(missing_ok=True)

@@ -14,9 +14,21 @@ delay when their route climbs through distant transit carriers, which is
 exactly the geolocation/latency de-correlation the survey's §2.4 warns
 about.
 
-The per-pair jitter is drawn once per host pair from a seeded generator
-(symmetric, deterministic), giving the matrix mild triangle-inequality
+The per-pair jitter is a *counter-hash* kernel: a SplitMix64-style mix of
+the sorted host-id pair and the jitter seed produces one uniform per pair,
+mapped through the inverse normal CDF and clipped — symmetric and
+deterministic with **no per-pair RNG state**, so the scalar, row, and
+matrix paths all agree exactly on the same multiplier (see
+:func:`pair_jitter`).  It gives the matrix mild triangle-inequality
 violations like real RTT datasets.
+
+:class:`StreamingDelayKernel` computes delay rows and blocks straight
+from struct-of-arrays host columns (access-latency vector, ASN vector,
+positions) plus the small ``(n_ases, n_ases)`` AS-delay matrix, with no
+``(n_hosts, n_hosts)`` intermediate — the O(n)-memory backend behind
+``Underlay(delay_backend="stream")`` that serves per-message delays for
+10^5–10^6-host underlays where the full host matrix (~80 GB of float64
+at 10^5 hosts) cannot exist.
 
 The all-pairs AS delay matrix is accumulated *during* the routing BFS
 (:meth:`~repro.underlay.routing.ASRouting.delay_matrix`), not
@@ -27,6 +39,7 @@ reconstructed path by path, and is built lazily on first use; see
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -41,6 +54,107 @@ from repro.underlay.topology import InternetTopology
 
 #: Speed of light in fibre: ~200 000 km/s  ->  0.005 ms per km.
 PROPAGATION_MS_PER_KM = 0.005
+
+#: Default bound on the streaming kernel's scalar pair memo (entries).
+DEFAULT_PAIR_MEMO_SIZE = 1 << 17
+
+
+# -- counter-hash jitter kernel ------------------------------------------------
+
+_U64_30 = np.uint64(30)
+_U64_27 = np.uint64(27)
+_U64_31 = np.uint64(31)
+_U64_11 = np.uint64(11)
+_SM_MULT1 = np.uint64(0xBF58476D1CE4E5B9)
+_SM_MULT2 = np.uint64(0x94D049BB133111EB)
+_SM_GAMMA = 0x9E3779B97F4A7C15
+_U53_INV = 2.0 ** -53
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer (bijective avalanche mix) on uint64 arrays."""
+    x = (x ^ (x >> _U64_30)) * _SM_MULT1
+    x = (x ^ (x >> _U64_27)) * _SM_MULT2
+    return x ^ (x >> _U64_31)
+
+
+# Acklam's rational approximation of the inverse normal CDF
+# (|relative error| < 1.15e-9 over (0, 1)); the central branch covers
+# ~95% of draws, the tail branches are hit only by pairs whose jitter
+# the clip would mostly saturate anyway.
+_PPF_A = (
+    -3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+    1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00,
+)
+_PPF_B = (
+    -5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+    6.680131188771972e01, -1.328068155288572e01,
+)
+_PPF_C = (
+    -7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+    -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00,
+)
+_PPF_D = (
+    7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+    3.754408661907416e00,
+)
+_PPF_LOW = 0.02425
+
+
+def _norm_ppf(u: np.ndarray) -> np.ndarray:
+    """Vectorised inverse standard-normal CDF for ``u`` in (0, 1)."""
+    a, b, c, d = _PPF_A, _PPF_B, _PPF_C, _PPF_D
+    out = np.empty_like(u)
+    central = (u > _PPF_LOW) & (u < 1.0 - _PPF_LOW)
+    q = u[central] - 0.5
+    r = q * q
+    out[central] = (
+        (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q
+        / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+    )
+    low = u <= _PPF_LOW
+    if low.any():
+        q = np.sqrt(-2.0 * np.log(u[low]))
+        out[low] = (
+            ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    high = u >= 1.0 - _PPF_LOW
+    if high.any():
+        q = np.sqrt(-2.0 * np.log(1.0 - u[high]))
+        out[high] = -(
+            ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    return out
+
+
+def pair_jitter(
+    ids_a: np.ndarray,
+    ids_b: np.ndarray,
+    *,
+    jitter_seed: int,
+    jitter_std_frac: float,
+) -> np.ndarray:
+    """Canonical deterministic per-pair jitter multiplier (mean ~1).
+
+    A SplitMix64-style counter hash of the *sorted* host-id pair and the
+    seed yields one uniform per pair; the inverse normal CDF turns it
+    into a clipped ``N(1, jitter_std_frac)`` draw.  Stateless and
+    symmetric, so the scalar, row, block, and full-matrix delay paths
+    all see bit-identical multipliers for the same pair — no RNG object
+    is ever constructed.  Inputs broadcast like any NumPy binary op.
+    """
+    a = np.asarray(ids_a, dtype=np.uint64)
+    b = np.asarray(ids_b, dtype=np.uint64)
+    lo = np.minimum(a, b)
+    hi = np.maximum(a, b)
+    if jitter_std_frac == 0:
+        return np.ones(np.broadcast(lo, hi).shape, dtype=np.float64)
+    seed = np.uint64((jitter_seed * _SM_GAMMA) & 0xFFFFFFFFFFFFFFFF)
+    h = _mix64(lo ^ _mix64(hi ^ seed))
+    # 53 high bits -> uniform strictly inside (0, 1)
+    u = ((h >> _U64_11).astype(np.float64) + 0.5) * _U53_INV
+    z = _norm_ppf(u)
+    return np.clip(1.0 + jitter_std_frac * z, 0.5, 2.0)
 
 
 @dataclass(frozen=True)
@@ -143,21 +257,14 @@ class LatencyModel:
         return float(mat[asn_a, asn_b])
 
     # -- host-level ----------------------------------------------------------
-    def _pair_jitter_matrix(self, n: int) -> np.ndarray:
-        """Deterministic symmetric multiplicative jitter, mean ~1."""
-        cfg = self.config
-        if cfg.jitter_std_frac == 0:
-            return np.ones((n, n), dtype=float)
-        rng = np.random.default_rng(cfg.jitter_seed)
-        raw = rng.normal(1.0, cfg.jitter_std_frac, size=(n, n))
-        sym = np.triu(raw, 1)
-        sym = sym + sym.T
-        np.fill_diagonal(sym, 1.0)
-        sym[sym == 0] = 1.0
-        return np.clip(sym, 0.5, 2.0)
-
     def one_way_delay(self, host_a: Host, host_b: Host) -> float:
-        """One-way delay between two hosts (ms)."""
+        """One-way delay between two hosts (ms).
+
+        Uses the canonical :func:`pair_jitter` counter-hash kernel, so
+        the returned value equals the corresponding
+        :meth:`latency_matrix` entry and :class:`StreamingDelayKernel`
+        row entry bit for bit (for distinct hosts).
+        """
         if host_a.host_id == host_b.host_id:
             return 0.05  # loopback-ish
         cfg = self.config
@@ -167,9 +274,42 @@ class LatencyModel:
             + self.as_pair_delay(host_a.asn, host_b.asn)
         )
         if host_a.asn == host_b.asn:
-            # add direct metro propagation inside the shared ISP
+            # direct metro propagation inside the shared ISP; dx*dx+dy*dy
+            # mirrors the einsum reduction of the vector paths exactly
+            dx = host_a.position.x - host_b.position.x
+            dy = host_a.position.y - host_b.position.y
+            base = base + np.sqrt(dx * dx + dy * dy) * cfg.propagation_ms_per_km
+        mult = float(
+            pair_jitter(
+                np.array([host_a.host_id], dtype=np.uint64),
+                np.array([host_b.host_id], dtype=np.uint64),
+                jitter_seed=cfg.jitter_seed,
+                jitter_std_frac=cfg.jitter_std_frac,
+            )[0]
+        )
+        return float(base * mult)
+
+    def one_way_delay_reference(self, host_a: Host, host_b: Host) -> float:
+        """Retained seed implementation of the scalar delay path.
+
+        Constructs a fresh per-pair ``np.random.default_rng`` for the
+        jitter draw — the per-message cost the streaming kernel removes.
+        Kept as the wall-cost baseline for ``benchmarks/
+        test_microbench_bus.py``; its jitter differs from the canonical
+        kernel (that disagreement between the scalar and matrix paths is
+        the seed bug PR 9 fixed), so nothing but the benchmark should
+        call it.
+        """
+        if host_a.host_id == host_b.host_id:
+            return 0.05  # loopback-ish
+        cfg = self.config
+        base = (
+            host_a.access_latency_ms
+            + host_b.access_latency_ms
+            + self.as_pair_delay(host_a.asn, host_b.asn)
+        )
+        if host_a.asn == host_b.asn:
             base += host_a.position.distance_to(host_b.position) * cfg.propagation_ms_per_km
-        # deterministic pair jitter via hashing of the id pair
         lo, hi = sorted((host_a.host_id, host_b.host_id))
         pair_rng = np.random.default_rng(
             (cfg.jitter_seed * 1_000_003 + lo) * 1_000_003 + hi
@@ -177,31 +317,171 @@ class LatencyModel:
         mult = float(np.clip(pair_rng.normal(1.0, cfg.jitter_std_frac), 0.5, 2.0))
         return base * mult
 
+    def delay_kernel(
+        self,
+        hosts: Sequence[Host],
+        *,
+        memo_size: int = DEFAULT_PAIR_MEMO_SIZE,
+    ) -> "StreamingDelayKernel":
+        """Build the O(n)-memory streaming kernel over ``hosts``.
+
+        Materialises only the SoA host columns and binds the (small)
+        AS-delay matrix; rows/blocks are computed on demand.
+        """
+        return StreamingDelayKernel.from_hosts(
+            hosts, self.as_delay, self.config, memo_size=memo_size
+        )
+
     def latency_matrix(self, hosts: Sequence[Host]) -> np.ndarray:
         """All-pairs one-way delay matrix for ``hosts`` (ms), vectorised.
 
-        Uses the same decomposition as :meth:`one_way_delay` but with a
-        matrix-level jitter draw, so individual entries agree with the
-        scalar path in distribution (and exactly when jitter is disabled).
+        Same decomposition and :func:`pair_jitter` kernel as
+        :meth:`one_way_delay`, so every entry agrees exactly with the
+        scalar path and with :class:`StreamingDelayKernel` rows — this
+        is the equivalence reference for the streaming backend.
         """
         hosts = list(hosts)
         n = len(hosts)
         if n == 0:
             return np.zeros((0, 0), dtype=float)
-        cfg = self.config
-        access = np.array([h.access_latency_ms for h in hosts], dtype=float)
-        asns = np.array([h.asn for h in hosts], dtype=np.int64)
-        base = access[:, None] + access[None, :] + self.as_delay[np.ix_(asns, asns)]
-        # metro propagation for same-AS pairs
-        pos = positions_to_array([h.position for h in hosts])
-        geo = pairwise_distances(pos)
-        same_as = asns[:, None] == asns[None, :]
-        base = base + np.where(same_as, geo * cfg.propagation_ms_per_km, 0.0)
-        jitter = self._pair_jitter_matrix(n)
-        out = base * jitter
-        np.fill_diagonal(out, 0.0)
-        return out
+        return self.delay_kernel(hosts).full_matrix()
 
     def rtt_matrix(self, hosts: Sequence[Host]) -> np.ndarray:
         """Round-trip-time matrix: twice the one-way delay."""
         return 2.0 * self.latency_matrix(hosts)
+
+
+class StreamingDelayKernel:
+    """Streaming host-pair delay kernel over struct-of-arrays columns.
+
+    Holds O(n) state — host-id, ASN, and access-latency vectors plus the
+    ``(n, 2)`` position array — and the shared ``(n_ases, n_ases)``
+    AS-delay matrix, and computes any rectangular block of the host
+    delay matrix on demand with no ``(n_hosts, n_hosts)`` intermediate.
+    :meth:`delay_row` / :meth:`delay_block` are value-identical, entry
+    by entry, to :meth:`LatencyModel.latency_matrix` (which is itself a
+    chunked :meth:`full_matrix` over this kernel).
+
+    Scalar lookups go through a bounded LRU pair memo
+    (:meth:`delay_scalar`), which is what a message bus hot path wants:
+    protocol traffic revisits the same pairs constantly.
+    """
+
+    def __init__(
+        self,
+        host_ids: np.ndarray,
+        asns: np.ndarray,
+        access_ms: np.ndarray,
+        positions: np.ndarray,
+        as_delay: np.ndarray,
+        config: LatencyConfig,
+        *,
+        memo_size: int = DEFAULT_PAIR_MEMO_SIZE,
+    ) -> None:
+        self.host_ids = np.ascontiguousarray(host_ids, dtype=np.uint64)
+        self.asns = np.ascontiguousarray(asns, dtype=np.int64)
+        self.access_ms = np.ascontiguousarray(access_ms, dtype=np.float64)
+        self.positions = np.ascontiguousarray(positions, dtype=np.float64)
+        self.as_delay = as_delay
+        self.config = config
+        n = len(self.host_ids)
+        if not (len(self.asns) == len(self.access_ms) == len(self.positions) == n):
+            raise ConfigurationError("streaming kernel columns disagree on n_hosts")
+        self.n_hosts = n
+        self._scalar = functools.lru_cache(maxsize=memo_size)(self._scalar_uncached)
+
+    @classmethod
+    def from_hosts(
+        cls,
+        hosts: Sequence[Host],
+        as_delay: np.ndarray,
+        config: LatencyConfig,
+        *,
+        memo_size: int = DEFAULT_PAIR_MEMO_SIZE,
+    ) -> "StreamingDelayKernel":
+        hosts = list(hosts)
+        return cls(
+            np.array([h.host_id for h in hosts], dtype=np.uint64),
+            np.array([h.asn for h in hosts], dtype=np.int64),
+            np.array([h.access_latency_ms for h in hosts], dtype=np.float64),
+            positions_to_array([h.position for h in hosts]),
+            as_delay,
+            config,
+            memo_size=memo_size,
+        )
+
+    # -- block computation ----------------------------------------------------
+    def delay_block(self, rows: Sequence[int], cols: Sequence[int]) -> np.ndarray:
+        """Delay block ``(len(rows), len(cols))`` in ms, O(rows x cols)
+        work and memory — never O(n^2) in the host population."""
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        cfg = self.config
+        acc_r = self.access_ms[rows]
+        acc_c = self.access_ms[cols]
+        asn_r = self.asns[rows]
+        asn_c = self.asns[cols]
+        base = acc_r[:, None] + acc_c[None, :] + self.as_delay[np.ix_(asn_r, asn_c)]
+        diff = self.positions[rows][:, None, :] - self.positions[cols][None, :, :]
+        geo = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        same_as = asn_r[:, None] == asn_c[None, :]
+        base = base + np.where(same_as, geo * cfg.propagation_ms_per_km, 0.0)
+        ids_r = self.host_ids[rows]
+        ids_c = self.host_ids[cols]
+        jitter = pair_jitter(
+            ids_r[:, None],
+            ids_c[None, :],
+            jitter_seed=cfg.jitter_seed,
+            jitter_std_frac=cfg.jitter_std_frac,
+        )
+        out = base * jitter
+        out[ids_r[:, None] == ids_c[None, :]] = 0.0
+        return out
+
+    def delay_row(self, row: int, cols: Sequence[int]) -> np.ndarray:
+        """One delay row: host index ``row`` to each host index in
+        ``cols`` (ms) — a 1-row :meth:`delay_block`."""
+        return self.delay_block((row,), cols)[0]
+
+    def full_matrix(self, row_block: int = 2048) -> np.ndarray:
+        """The all-pairs matrix, assembled block-row by block-row so the
+        broadcast intermediates stay bounded.  This is the *matrix
+        backend build* — only sized populations should call it."""
+        n = self.n_hosts
+        all_cols = np.arange(n, dtype=np.intp)
+        out = np.empty((n, n), dtype=np.float64)
+        for start in range(0, n, row_block):
+            stop = min(start + row_block, n)
+            out[start:stop] = self.delay_block(
+                np.arange(start, stop, dtype=np.intp), all_cols
+            )
+        return out
+
+    # -- memoised scalar path --------------------------------------------------
+    def _scalar_uncached(self, i: int, j: int) -> float:
+        return float(self.delay_block((i,), (j,))[0, 0])
+
+    def delay_scalar(self, i: int, j: int) -> float:
+        """Delay between host indices ``i`` and ``j`` through the
+        bounded LRU pair memo (delays are symmetric, so the memo keys on
+        the sorted index pair)."""
+        if i > j:
+            i, j = j, i
+        return self._scalar(i, j)
+
+    def memo_info(self):
+        """Hit/miss statistics of the scalar pair memo."""
+        return self._scalar.cache_info()
+
+    def memo_clear(self) -> None:
+        self._scalar.cache_clear()
+
+    def memory_bytes(self) -> int:
+        """Bytes held in the SoA columns (excludes the shared AS-delay
+        matrix and the pair memo)."""
+        return (
+            self.host_ids.nbytes
+            + self.asns.nbytes
+            + self.access_ms.nbytes
+            + self.positions.nbytes
+        )

@@ -8,8 +8,19 @@ This is the substrate every experiment starts from::
     bus = underlay.message_bus(sim)
 
 The facade implements the :class:`~repro.sim.messages.LatencyProvider`
-protocol over *host ids*, precomputing the all-pairs host latency matrix so
-per-message delay lookups are O(1) array reads.
+protocol over *host ids* behind a ``delay_backend`` toggle:
+
+- ``"matrix"`` precomputes the all-pairs host latency matrix so
+  per-message delay lookups are O(1) array reads — the right call up to
+  a few thousand hosts, and the equivalence reference for the stream
+  backend (value-identical row by row).
+- ``"stream"`` computes delays on demand from the O(n)-memory
+  :class:`~repro.underlay.latency.StreamingDelayKernel` (SoA host
+  columns + the small AS-delay matrix), with a bounded LRU pair memo
+  for repeated scalar lookups — the only backend that can serve
+  10^5–10^6-host underlays, where the matrix would need ~80 GB.
+- ``"auto"`` (default) picks ``stream`` above
+  :data:`STREAM_AUTO_HOST_THRESHOLD` hosts and ``matrix`` below.
 """
 
 from __future__ import annotations
@@ -26,10 +37,23 @@ from repro.sim.engine import Simulation
 from repro.sim.messages import MessageBus
 from repro.underlay.cost import CostModel, CostParams
 from repro.underlay.hosts import Host, HostFactory
-from repro.underlay.latency import LatencyConfig, LatencyModel
+from repro.underlay.latency import LatencyConfig, LatencyModel, StreamingDelayKernel
 from repro.underlay.routing import ASRouting
 from repro.underlay.topology import InternetTopology, TopologyConfig, generate_topology
 from repro.underlay.traffic import TrafficAccountant
+
+
+#: ``delay_backend="auto"`` switches from the precomputed matrix to the
+#: streaming kernel above this host count (matrix memory grows as n^2:
+#: 2048 hosts is ~32 MB of float64; 10^5 hosts would be ~80 GB).
+STREAM_AUTO_HOST_THRESHOLD = 2048
+
+#: Hard ceiling on materialising the host latency matrix in stream mode
+#: (the matrix backend refuses nothing — picking it at scale is the
+#: caller's explicit choice).
+_STREAM_MATRIX_HARD_LIMIT = 20_000
+
+_DELAY_BACKENDS = ("auto", "matrix", "stream")
 
 
 @dataclass(frozen=True)
@@ -41,10 +65,16 @@ class UnderlayConfig:
     cost: CostParams = field(default_factory=CostParams)
     n_hosts: int = 200
     seed: int = 0
+    delay_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.n_hosts < 0:
             raise ConfigurationError("n_hosts must be non-negative")
+        if self.delay_backend not in _DELAY_BACKENDS:
+            raise ConfigurationError(
+                f"delay_backend must be one of {_DELAY_BACKENDS}, "
+                f"got {self.delay_backend!r}"
+            )
 
 
 class Underlay:
@@ -58,6 +88,7 @@ class Underlay:
         *,
         latency_config: LatencyConfig | None = None,
         cost_params: CostParams | None = None,
+        delay_backend: str = "auto",
     ) -> None:
         self.topology = topology
         self.routing = ASRouting(topology)
@@ -79,6 +110,18 @@ class Underlay:
             for asn, hs in self._hosts_by_as.items()
         }
         self._latency_matrix: Optional[np.ndarray] = None
+        if delay_backend not in _DELAY_BACKENDS:
+            raise ConfigurationError(
+                f"delay_backend must be one of {_DELAY_BACKENDS}, "
+                f"got {delay_backend!r}"
+            )
+        if delay_backend == "auto":
+            delay_backend = (
+                "stream" if len(self.hosts) > STREAM_AUTO_HOST_THRESHOLD else "matrix"
+            )
+        #: Resolved backend ("matrix" or "stream") serving per-message delays.
+        self.delay_backend = delay_backend
+        self._delay_kernel: Optional[StreamingDelayKernel] = None
 
     # -- construction ----------------------------------------------------------
     @classmethod
@@ -103,6 +146,7 @@ class Underlay:
             hosts,
             latency_config=config.latency,
             cost_params=config.cost,
+            delay_backend=config.delay_backend,
         )
 
     # -- host queries ------------------------------------------------------------
@@ -149,9 +193,37 @@ class Underlay:
 
     # -- latency -------------------------------------------------------------------
     @property
+    def delay_kernel(self) -> StreamingDelayKernel:
+        """The streaming delay kernel over this host population, built
+        lazily once (O(n) columns + the small AS-delay matrix)."""
+        if self._delay_kernel is None:
+            note_cache_event("delay_kernel", "miss")
+            with timed_build("delay_kernel"):
+                self._delay_kernel = self.latency.delay_kernel(self.hosts)
+        else:
+            note_cache_event("delay_kernel", "hit")
+        return self._delay_kernel
+
+    @property
     def latency_matrix(self) -> np.ndarray:
-        """All-pairs one-way host delay matrix (ms), computed lazily once."""
+        """All-pairs one-way host delay matrix (ms), computed lazily once.
+
+        In stream mode the matrix is still available for mid-size
+        populations (some analyses genuinely want all pairs) but is
+        refused beyond ``_STREAM_MATRIX_HARD_LIMIT`` hosts — use
+        :meth:`one_way_delay_row` / :attr:`delay_kernel` there.
+        """
         if self._latency_matrix is None:
+            if (
+                self.delay_backend == "stream"
+                and len(self.hosts) > _STREAM_MATRIX_HARD_LIMIT
+            ):
+                n = len(self.hosts)
+                raise ConfigurationError(
+                    f"refusing to materialise the {n}x{n} host latency matrix "
+                    f"(~{n * n * 8 / 2**30:.0f} GiB) in stream mode; use "
+                    "one_way_delay_row()/delay_kernel instead"
+                )
             note_cache_event("host_latency", "miss")
             with timed_build("host_latency"):
                 self._latency_matrix = self.latency.latency_matrix(self.hosts)
@@ -161,10 +233,14 @@ class Underlay:
 
     def precompute(self) -> "Underlay":
         """Force every lazy substrate matrix to build now: per-source BFS
-        trees, the AS delay matrix, and the host latency matrix."""
+        trees, the AS delay matrix, and the delay backend's host state
+        (the full latency matrix in matrix mode; only the O(n) kernel
+        columns in stream mode)."""
         self.routing.precompute()
         self.latency.precompute()
-        if self._latency_matrix is None:
+        if self.delay_backend == "stream":
+            self.delay_kernel
+        elif self._latency_matrix is None:
             note_cache_event("host_latency", "miss")
             with timed_build("host_latency"):
                 self._latency_matrix = self.latency.latency_matrix(self.hosts)
@@ -175,6 +251,7 @@ class Underlay:
         self.routing.invalidate()
         self.latency.invalidate()
         self._latency_matrix = None
+        self._delay_kernel = None
 
     def warm_latency_matrix(self, matrix: np.ndarray) -> None:
         """Inject a precomputed host latency matrix (substrate cache load)."""
@@ -190,7 +267,18 @@ class Underlay:
         return 2.0 * self.latency_matrix
 
     def one_way_delay(self, src: Hashable, dst: Hashable) -> float:
-        """LatencyProvider protocol over host ids (ms)."""
+        """LatencyProvider protocol over host ids (ms).
+
+        Matrix mode reads the precomputed matrix; stream mode computes
+        through the kernel's LRU pair memo — same value either way.
+        """
+        if self.delay_backend == "stream":
+            kernel = self._delay_kernel
+            if kernel is None:
+                kernel = self.delay_kernel
+            i = self._index_of[self._host_id_of(src)]
+            j = self._index_of[self._host_id_of(dst)]
+            return kernel.delay_scalar(i, j)
         mat = self._latency_matrix
         if mat is None:  # build once; per-message lookups stay O(1) reads
             mat = self.latency_matrix
@@ -205,17 +293,21 @@ class Underlay:
         self, src: Hashable, dsts: Sequence[Hashable]
     ) -> np.ndarray:
         """One-way delay from ``src`` to each of ``dsts`` (ms) as one
-        latency-matrix row gather — the batch form of
-        :meth:`one_way_delay`, value-identical entry by entry."""
-        mat = self._latency_matrix
-        if mat is None:
-            mat = self.latency_matrix
+        row — a latency-matrix gather in matrix mode, a streamed
+        :meth:`~repro.underlay.latency.StreamingDelayKernel.delay_row`
+        in stream mode; the batch form of :meth:`one_way_delay`,
+        value-identical entry by entry in either backend."""
         i = self._index_of[self._host_id_of(src)]
         idx = self._index_of
         try:  # dsts are almost always bare host ids; resolve tuples lazily
             cols = [idx[d] for d in dsts]
         except (KeyError, TypeError):
             cols = [idx[self._host_id_of(d)] for d in dsts]
+        if self.delay_backend == "stream":
+            return self.delay_kernel.delay_row(i, cols)
+        mat = self._latency_matrix
+        if mat is None:
+            mat = self.latency_matrix
         return mat[i, cols].astype(float)
 
     # -- simulation plumbing ----------------------------------------------------------

@@ -1,0 +1,241 @@
+"""Streaming delay kernel: equivalence with the matrix backend.
+
+The contract under test is *bit-identical values across every delay
+path*: ``LatencyModel.one_way_delay`` (scalar), ``latency_matrix``
+(all-pairs), ``StreamingDelayKernel.delay_row``/``delay_block``
+(streamed), and the two ``Underlay`` backends — plus the O(n)-memory
+claim at 10^5 hosts (``-m scale``).
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import multiprocessing
+import pathlib
+import resource
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.underlay import (
+    STREAM_AUTO_HOST_THRESHOLD,
+    LatencyConfig,
+    StreamingDelayKernel,
+    Underlay,
+    UnderlayConfig,
+    pair_jitter,
+)
+
+
+@functools.lru_cache(maxsize=8)
+def _underlay(n_hosts: int, seed: int, backend: str = "auto") -> Underlay:
+    return Underlay.generate(
+        UnderlayConfig(n_hosts=n_hosts, seed=seed, delay_backend=backend)
+    )
+
+
+# -- the jitter kernel itself -------------------------------------------------
+
+def test_pair_jitter_symmetric_and_deterministic():
+    a = np.arange(100, dtype=np.uint64)
+    b = np.arange(100, 200, dtype=np.uint64)
+    j1 = pair_jitter(a, b, jitter_seed=7, jitter_std_frac=0.08)
+    j2 = pair_jitter(b, a, jitter_seed=7, jitter_std_frac=0.08)
+    assert np.array_equal(j1, j2)  # sorted-pair hash: direction-free
+    assert np.array_equal(
+        j1, pair_jitter(a, b, jitter_seed=7, jitter_std_frac=0.08)
+    )
+    # a different seed is a different multiplier field
+    j3 = pair_jitter(a, b, jitter_seed=8, jitter_std_frac=0.08)
+    assert not np.array_equal(j1, j3)
+
+
+def test_pair_jitter_distribution_shape():
+    n = 20_000
+    a = np.zeros(n, dtype=np.uint64)
+    b = np.arange(1, n + 1, dtype=np.uint64)
+    j = pair_jitter(a, b, jitter_seed=3, jitter_std_frac=0.08)
+    assert (j >= 0.5).all() and (j <= 2.0).all()
+    assert abs(j.mean() - 1.0) < 0.01
+    assert abs(j.std() - 0.08) < 0.01
+
+
+def test_pair_jitter_zero_std_is_ones():
+    a = np.arange(10, dtype=np.uint64)
+    j = pair_jitter(a, a + 1, jitter_seed=7, jitter_std_frac=0.0)
+    assert np.array_equal(j, np.ones(10))
+
+
+# -- scalar == matrix == row: the PR 9 consistency fix ------------------------
+
+@pytest.mark.parametrize("seed", [0, 11, 42])
+def test_scalar_matrix_row_agree_bitwise(seed):
+    """The seed bug: the scalar path drew per-pair RNG jitter while the
+    matrix path hashed counters, so ``one_way_delay`` disagreed with the
+    matrix entry.  All paths now share :func:`pair_jitter` and must
+    agree *bitwise* for every sampled pair."""
+    u = _underlay(40, seed, "matrix")
+    mat = u.latency_matrix
+    kernel = u.latency.delay_kernel(u.hosts)
+    rng = np.random.default_rng(seed)
+    n = len(u.hosts)
+    for _ in range(50):
+        i, j = rng.integers(0, n, size=2)
+        if i == j:
+            continue
+        scalar = u.latency.one_way_delay(u.hosts[i], u.hosts[j])
+        assert mat[i, j] == scalar
+        assert kernel.delay_row(int(i), [int(j)])[0] == scalar
+        assert kernel.delay_scalar(int(i), int(j)) == scalar
+
+
+def test_matrix_is_symmetric_with_zero_diagonal():
+    u = _underlay(40, 5, "matrix")
+    mat = u.latency_matrix
+    assert np.array_equal(mat, mat.T)
+    assert np.array_equal(np.diag(mat), np.zeros(len(u.hosts)))
+
+
+# -- property: streamed blocks == matrix entries ------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_hosts=st.integers(min_value=2, max_value=30),
+    seed=st.integers(min_value=0, max_value=7),
+    data=st.data(),
+)
+def test_stream_block_matches_matrix_entrywise(n_hosts, seed, data):
+    u = _underlay(n_hosts, seed, "matrix")
+    mat = u.latency_matrix
+    kernel = u.latency.delay_kernel(u.hosts)
+    idx = st.integers(min_value=0, max_value=len(u.hosts) - 1)
+    rows = data.draw(st.lists(idx, min_size=1, max_size=6))
+    cols = data.draw(st.lists(idx, min_size=1, max_size=6))
+    block = kernel.delay_block(rows, cols)
+    assert np.array_equal(block, mat[np.ix_(rows, cols)])
+    row = data.draw(idx)
+    assert np.array_equal(kernel.delay_row(row, cols), mat[row, cols])
+
+
+# -- Underlay backend toggle --------------------------------------------------
+
+def test_stream_and_matrix_backends_value_identical():
+    m = _underlay(60, 9, "matrix")
+    s = _underlay(60, 9, "stream")
+    ids = m.host_ids()
+    for src in ids[:5]:
+        assert np.array_equal(
+            m.one_way_delay_row(src, ids), s.one_way_delay_row(src, ids)
+        )
+        for dst in ids[::7]:
+            assert m.one_way_delay(src, dst) == s.one_way_delay(src, dst)
+
+
+def test_auto_backend_threshold():
+    assert _underlay(30, 1).delay_backend == "matrix"
+    small = UnderlayConfig(n_hosts=30, seed=1)
+    assert Underlay.generate(small).delay_backend == "matrix"
+    # don't generate >2048 hosts just for the toggle: construct directly
+    u = _underlay(30, 1)
+    assert STREAM_AUTO_HOST_THRESHOLD == 2048
+    forced = Underlay(
+        u.topology, u.hosts, delay_backend="stream"
+    )
+    assert forced.delay_backend == "stream"
+    with pytest.raises(ConfigurationError):
+        Underlay(u.topology, u.hosts, delay_backend="banana")
+    with pytest.raises(ConfigurationError):
+        UnderlayConfig(delay_backend="banana")
+
+
+def test_stream_scalar_memo_hits():
+    u = _underlay(50, 2, "stream")
+    u.one_way_delay(u.host_ids()[0], u.host_ids()[1])
+    info0 = u.delay_kernel.memo_info()
+    for _ in range(10):
+        u.one_way_delay(u.host_ids()[0], u.host_ids()[1])
+        u.one_way_delay(u.host_ids()[1], u.host_ids()[0])  # symmetric key
+    info1 = u.delay_kernel.memo_info()
+    assert info1.misses == info0.misses  # all served from the memo
+    assert info1.hits >= info0.hits + 20
+    u.delay_kernel.memo_clear()
+    assert u.delay_kernel.memo_info().hits == 0
+
+
+def test_stream_mode_matrix_available_midsize_refused_at_scale():
+    s = _underlay(60, 9, "stream")
+    m = _underlay(60, 9, "matrix")
+    # mid-size stream underlays may still materialise the matrix...
+    assert np.array_equal(s.latency_matrix, m.latency_matrix)
+    # ...but past the hard limit the property must refuse, not swap 80 GB
+    big = _underlay(30, 1, "stream")
+    big.delay_backend = "stream"
+    big.hosts = big.hosts * 700  # 21000 > hard limit; only len() is read
+    big._latency_matrix = None
+    with pytest.raises(ConfigurationError, match="refusing"):
+        big.latency_matrix
+
+
+def test_kernel_memory_is_linear_in_hosts():
+    u = _underlay(50, 2, "stream")
+    per_host = u.delay_kernel.memory_bytes() / len(u.hosts)
+    # uint64 + int64 + float64 + 2x float64 = 40 bytes of columns per host
+    assert per_host == 40.0
+
+
+def test_kernel_rejects_mismatched_columns():
+    u = _underlay(30, 1)
+    k = u.delay_kernel
+    with pytest.raises(ConfigurationError):
+        StreamingDelayKernel(
+            k.host_ids, k.asns[:-1], k.access_ms, k.positions,
+            k.as_delay, k.config,
+        )
+
+
+# -- 10^5-host smoke: O(n) memory, value-consistent rows (-m scale) -----------
+
+def _scale_probe(n_hosts: int) -> dict:
+    """Forked-child body: build a stream underlay at ``n_hosts`` and
+    serve delay rows; peak RSS stays O(n) (the matrix would be
+    ~{n^2 * 8 / 2**30:.0f} GiB)."""
+    u = Underlay.generate(UnderlayConfig(n_hosts=n_hosts, seed=17))
+    assert u.delay_backend == "stream"
+    kernel = u.delay_kernel
+    cols = list(range(0, n_hosts, max(1, n_hosts // 4096)))[:4096]
+    rows = [kernel.delay_row(r, cols) for r in (0, n_hosts // 2, n_hosts - 1)]
+    # row entries agree with the memoised scalar path
+    scalar_ok = all(
+        rows[0][c] == kernel.delay_scalar(0, cols[c]) for c in (1, 100, 1000)
+    )
+    return {
+        "n_hosts": n_hosts,
+        "scalar_ok": bool(scalar_ok),
+        "row_finite": bool(all(np.isfinite(r).all() for r in rows)),
+        "kernel_mb": kernel.memory_bytes() / 2**20,
+        "peak_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024,
+    }
+
+
+@pytest.mark.scale
+def test_delay_rows_at_1e5_hosts_bounded_rss():
+    ctx = multiprocessing.get_context("fork")
+    rx, tx = ctx.Pipe(duplex=False)
+
+    def run() -> None:
+        tx.send(_scale_probe(100_000))
+        tx.close()
+
+    proc = ctx.Process(target=run)
+    proc.start()
+    result = rx.recv()
+    proc.join()
+    assert proc.exitcode == 0
+    assert result["scalar_ok"] and result["row_finite"]
+    assert result["kernel_mb"] < 8.0  # 40 B/host of SoA columns
+    # the full matrix would be ~75 GiB; the stream path must stay O(n)
+    assert result["peak_rss_mb"] < 2048, result

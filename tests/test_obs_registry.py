@@ -215,3 +215,49 @@ def test_observe_scope_activates_and_deactivates():
         assert obs.active_registry() is session.registry
     assert obs.active_registry() is None
     assert obs.active_tracer() is None
+
+
+# -- bound label cells (PR 9 hot-path views) ----------------------------------
+
+
+def test_counter_labelled_cell_equivalent_to_inc():
+    a = Counter("a_total", labelnames=("kind",))
+    b = Counter("b_total", labelnames=("kind",))
+    cell = a.labelled(kind="PING")
+    cell.inc()
+    cell.inc(2.5)
+    b.inc(kind="PING")
+    b.inc(2.5, kind="PING")
+    assert cell.value() == a.value(kind="PING") == b.value(kind="PING") == 3.5
+    with pytest.raises(ObservabilityError):
+        cell.inc(-1)
+
+
+def test_counter_labelled_validates_at_bind_time():
+    c = Counter("c_total", labelnames=("kind",))
+    with pytest.raises(ObservabilityError):
+        c.labelled(nope="x")  # wrong labelname fails at bind, not at inc
+
+
+def test_counter_cell_survives_clear():
+    c = Counter("c_total", labelnames=("kind",))
+    cell = c.labelled(kind="PING")
+    cell.inc(5)
+    c.clear()
+    assert cell.value() == 0.0
+    cell.inc(2)  # rebinds into the live cells dict, not a stale one
+    assert c.value(kind="PING") == 2.0
+
+
+def test_histogram_labelled_cell_equivalent_to_observe():
+    reg = MetricRegistry()
+    h1 = reg.histogram("h1", "direct", buckets=(1, 2, 4), labelnames=("op",))
+    h2 = reg.histogram("h2", "cell", buckets=(1, 2, 4), labelnames=("op",))
+    cell = h2.labelled(op="get")
+    for v in (0.5, 1.5, 3.0, 9.0):
+        h1.observe(v, op="get")
+        cell.observe(v)
+    snap = obs.registry_to_dict(reg)
+    assert snap["h1"]["values"]["op=get"] == snap["h2"]["values"]["op=get"]
+    with pytest.raises(ObservabilityError):
+        cell.observe(float("nan"))

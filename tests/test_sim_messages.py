@@ -175,3 +175,63 @@ def test_send_many_empty_and_negative_size():
     assert bus.send_many("a", [], "K") == []
     with pytest.raises(SimulationError):
         bus.send_many("a", ["b"], "K", size_bytes=-1)
+
+
+# -- negative total delay + slots (PR 9) -------------------------------------
+
+def test_negative_extra_delay_raises():
+    """A negative extra_delay larger than the underlay latency would
+    schedule delivery before the send; the bus must refuse it."""
+    sim = Simulation()
+    bus = MessageBus(sim, FixedLatency(5.0))
+    bus.send("a", "b", "K", extra_delay=-5.0)  # exactly zero is fine
+    with pytest.raises(SimulationError, match="negative total delay"):
+        bus.send("a", "b", "K", extra_delay=-5.01)
+    with pytest.raises(SimulationError, match="negative total delay"):
+        bus.send_many("a", ["b", "c"], "K", extra_delay=-6.0)
+
+
+def test_negative_fault_penalty_raises():
+    sim = Simulation()
+    bus = MessageBus(sim, FixedLatency(5.0))
+    bus.set_fault_hook(lambda src, dst, kind: -9.0)
+    with pytest.raises(SimulationError, match="negative total delay"):
+        bus.send("a", "b", "K")
+
+
+def test_message_and_busstats_are_slots():
+    """Misspelled attribute writes fail loudly instead of silently
+    growing per-message instance dicts at fan-out scale."""
+    from repro.sim.messages import BusStats, Message
+
+    msg = Message(src="a", dst="b", kind="K")
+    with pytest.raises(AttributeError):
+        msg.playload = 1  # typo'd 'payload'
+    assert not hasattr(msg, "__dict__")
+    stats = BusStats()
+    with pytest.raises(AttributeError):
+        stats.snet = 1  # typo'd 'sent'
+    assert not hasattr(stats, "__dict__")
+
+
+def test_instrumented_bus_counts_via_bound_cells():
+    """The fast path counts through bound label cells; the registry
+    snapshot must match the per-kind stats exactly."""
+    from repro import obs
+
+    with obs.observe() as session:
+        sim = Simulation()
+        bus = MessageBus(sim, FixedLatency(1.0))
+        bus.register("b", lambda m: None)
+        bus.send("a", "b", "PING")
+        bus.send_many("a", ["b", "b"], "PING", size_bytes=10)
+        bus.send("a", "missing", "PONG")
+        sim.run()
+    snap = obs.registry_to_dict(session.registry)
+    assert snap["bus_messages_sent_total"]["values"]["kind=PING"] == 3
+    assert snap["bus_messages_sent_total"]["values"]["kind=PONG"] == 1
+    assert snap["bus_bytes_sent_total"]["values"]["kind=PING"] == 64 + 10 + 10
+    assert snap["bus_messages_delivered_total"]["values"]["kind=PING"] == 3
+    assert (
+        snap["bus_messages_dropped_total"]["values"]["reason=no_handler"] == 1
+    )
