@@ -1,0 +1,113 @@
+"""CI guard: fail when the frontier-batched query plane regresses by >3x.
+
+Re-times batched Gnutella flood expansion over a 1000-ultrapeer
+directly-wired mesh (stream delay backend, bare bus) and compares it
+against the loose floor recorded in ``query_floor.json`` — the 3x
+headroom means only a real complexity regression trips it (per-message
+simulator scheduling back in the kernel loop, a Message allocation per
+hop, per-message metric updates), not machine-to-machine noise.  If a
+fresh ``BENCH_query.json`` exists at the repo root (written by
+``benchmarks/test_microbench_query.py``), its recorded headline speedup
+over the per-message reference path is validated against the CI floor
+of 3x too (the bench itself asserts the 5x headline).
+
+Usage:  PYTHONPATH=src python benchmarks/check_query_floor.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.overlay.gnutella import GnutellaConfig, GnutellaNetwork
+from repro.sim import MessageBus, Simulation
+from repro.underlay import Underlay, UnderlayConfig
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = HERE.parent
+REGRESSION_FACTOR = 3.0
+HEADLINE_SPEEDUP = 3.0  # CI floor; the bench itself asserts >= 5x
+REPEATS = 3
+N_HOSTS = 1000
+DEGREE = 6
+N_QUERIES = 6
+N_KEYWORDS = 31
+
+
+def _floods_per_sec() -> float:
+    underlay = Underlay.generate(
+        UnderlayConfig(n_hosts=N_HOSTS, seed=29, delay_backend="stream")
+    )
+    sim = Simulation()
+    bus = MessageBus(sim, underlay)
+    net = GnutellaNetwork(
+        underlay, sim, bus,
+        config=GnutellaConfig(query_ttl=5, max_up_neighbors=DEGREE),
+        rng=29, query_backend="batch",
+    )
+    net.add_population(underlay.hosts, ultrapeer_fraction=1.0)
+    rng = np.random.default_rng(29)
+    for node in net.nodes.values():
+        hid = node.host_id
+        node.neighbors.add((hid + 1) % N_HOSTS)
+        node.neighbors.add((hid - 1) % N_HOSTS)
+        for peer in rng.integers(0, N_HOSTS, DEGREE):
+            if peer != hid:
+                node.neighbors.add(int(peer))
+                net.nodes[int(peer)].neighbors.add(hid)
+    for h in underlay.hosts:
+        net.share_content(h.host_id, [h.host_id % N_KEYWORDS])
+
+    def run(base: int) -> float:
+        t0 = time.perf_counter()
+        for i in range(N_QUERIES):
+            net.search(
+                (base + i * (N_HOSTS // N_QUERIES)) % N_HOSTS,
+                (base + i) % N_KEYWORDS,
+            )
+        sim.run()
+        return time.perf_counter() - t0
+
+    run(0)  # warm: imports, delay memo, seen-filter columns
+    best = min(run(1 + r) for r in range(REPEATS))
+    return N_QUERIES / best
+
+
+def main() -> int:
+    floor = json.loads((HERE / "query_floor.json").read_text())[
+        "batch_floods_per_sec"
+    ]
+    limit = floor / REGRESSION_FACTOR
+
+    rate = _floods_per_sec()
+    verdict = "OK" if rate >= limit else "REGRESSION"
+    print(
+        f"batched flood expansion ({N_HOSTS} UPs, ttl=5): "
+        f"{rate:.1f} floods/s "
+        f"(floor {floor:.1f}, limit {limit:.1f}) -> {verdict}"
+    )
+    failed = rate < limit
+
+    bench = REPO_ROOT / "BENCH_query.json"
+    if bench.exists():
+        headline = json.loads(bench.read_text())["headline"]
+        speedup = headline["flood_speedup"]
+        ok = speedup >= HEADLINE_SPEEDUP
+        print(
+            f"BENCH_query.json headline: {speedup:.2f}x over the per-message "
+            f"reference (CI floor >= {HEADLINE_SPEEDUP:.0f}x) -> "
+            f"{'OK' if ok else 'REGRESSION'}"
+        )
+        failed = failed or not ok
+    else:
+        print("BENCH_query.json not present - skipping headline validation")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -328,6 +328,25 @@ class Bitmap2D:
             [sum(int(w).bit_count() for w in r) for r in rows], dtype=np.int64
         )
 
+    # -- column (per-bit) batch operations ----------------------------------------
+    def test_slots(self, slots: Sequence[int], bit: int) -> np.ndarray:
+        """Vectorised :meth:`test` of one bit over a batch of slots."""
+        word, mask = self._locate(bit)
+        idx = np.asarray(slots, dtype=np.intp)
+        return (self._bits[idx, word] & mask) != 0
+
+    def set_slots(self, slots: Sequence[int], bit: int) -> None:
+        """Vectorised :meth:`set` of one bit over a batch of slots."""
+        word, mask = self._locate(bit)
+        idx = np.asarray(slots, dtype=np.intp)
+        self._bits[idx, word] |= mask
+
+    def clear_column(self, bit: int) -> None:
+        """Clear one bit across *all* slots (one masked word-column AND —
+        how a generation-expired seen-filter key is retired)."""
+        word, mask = self._locate(bit)
+        self._bits[:, word] &= ~mask
+
 
 class PeerState:
     """The struct-of-arrays hot state of a peer population.

@@ -1,5 +1,6 @@
 """Gnutella 0.6 overlay with oracle-biased neighbor selection ([1], §4)."""
 
+from repro.overlay.gnutella.flood import FloodKernel
 from repro.overlay.gnutella.hostcache import HostCache, HostCacheReference
 from repro.overlay.gnutella.messages import (
     ConnectReply,
@@ -19,6 +20,7 @@ from repro.overlay.gnutella.node import LEAF, ULTRAPEER, GnutellaConfig, Gnutell
 __all__ = [
     "ConnectReply",
     "ConnectRequest",
+    "FloodKernel",
     "GnutellaConfig",
     "GnutellaNetwork",
     "GnutellaNode",

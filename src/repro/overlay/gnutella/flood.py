@@ -1,0 +1,549 @@
+"""Frontier-batched Gnutella flood expansion.
+
+The per-message reference path expands a TTL flood one simulator event at
+a time: every QUERY hop costs a heap push, a ``Message`` allocation, a
+bus delivery, and a Python handler dispatch.  :class:`FloodKernel`
+expands the *entire* flood (or a whole network-wide ping round) inside
+one call instead: arrivals are processed from a kernel-local
+``(time, seq)`` heap in exactly the order the simulator would have
+delivered them, per-edge delivery times come from the bus's latency
+provider (memoised scalar reads, or an
+:meth:`~repro.underlay.network.Underlay.one_way_delay_row` gather for
+wide fan-outs), and duplicate suppression runs against the network's
+bounded :class:`~repro.sim.queryplane.SeenFilter` plus a flood-local set.
+Per-message semantics are preserved exactly — loss draws from the bus's
+own RNG in per-destination send order, fault-hook interposition with
+in-flight drops, TTL decrement, duplicate and TTL-expiry drops, traffic
+observers and trace events per send — while stats, per-kind metric
+cells, per-node counters, and seen-filter marks are committed in
+aggregate at the end (:meth:`MessageBus.account_external`).
+
+Equivalence with the reference path is message-level: the sorted
+``(time, src, dst, kind, size)`` send set (see
+:func:`~repro.sim.queryplane.flood_trace_digest`) is bit-identical, as
+are all counters.  Known, documented divergences: loss-RNG draw order
+differs when *lossy* floods overlap in simulated time (aggregate drop
+counts still match in distribution, and serial floods match bit-for-bit);
+fault hooks are invoked at expansion time (``sim.now`` = issue time)
+with the virtual send time unavailable to them, so hooks whose behaviour
+changes *mid-flood* diverge; and state mutated by other actors mid-flood
+(churn) is not seen, since the expansion runs to quiescence at issue
+time.
+
+This module lives in ``overlay`` (not ``sim``) because the kernel reads
+protocol state — roles, neighbor sets, shared-content indexes, pong
+caches — keeping ``sim`` below ``overlay`` in the import graph.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import defaultdict
+from itertools import count
+from typing import TYPE_CHECKING, Hashable
+
+from repro.errors import OverlayError, SimulationError
+from repro.overlay.gnutella.messages import (
+    PING_SIZE,
+    PONG_SIZE,
+    QUERY_SIZE,
+    QUERYHIT_SIZE,
+)
+from repro.overlay.gnutella.node import ULTRAPEER
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.overlay.gnutella.messages import Query
+    from repro.overlay.gnutella.network import GnutellaNetwork
+    from repro.overlay.gnutella.node import GnutellaNode
+
+_SIZES = {
+    "QUERY": QUERY_SIZE,
+    "QUERYHIT": QUERYHIT_SIZE,
+    "PING": PING_SIZE,
+    "PONG": PONG_SIZE,
+}
+
+# accumulator columns: [sent, delivered, dropped_loss, dropped_fault,
+# dropped_no_handler] per kind
+_SENT, _DELIV, _LOSS, _FAULT, _NH = range(5)
+
+# kernel-heap event codes (first message of each expansion kind)
+_FWD = 0   # QUERY or PING propagating outward
+_BACK = 1  # QUERYHIT or PONG routing back
+
+#: gather delivery times with one ``one_way_delay_row`` read instead of
+#: per-destination scalar calls above this fan-out
+_ROW_GATHER_MIN = 64
+
+#: the src -> {dst -> delay} memo is cleared past this many source rows
+#: (each row is bounded by node degree; delays are deterministic per
+#: pair, so dropping entries is only a perf event)
+_MEMO_CAP = 1 << 17
+
+
+def _quiesce() -> None:
+    """No-op scheduled at an expansion's last virtual delivery time, so
+    ``sim.run()`` advances the clock exactly as far as the per-message
+    path's final delivery event would have."""
+
+
+class _Emitter:
+    """The send half of the kernel loop: one :meth:`emit` per message,
+    replicating ``MessageBus._send_one`` — accounting, observers, trace
+    events, fault hook, delay validation, loss draw — against the
+    *virtual* send time, pushing survivors onto the kernel heap."""
+
+    __slots__ = (
+        "_bus", "_heap", "_acc", "_sent_by", "_seq", "_delay",
+        "_observers", "_tracer", "fast",
+    )
+
+    def __init__(self, kernel: "FloodKernel", heap: list, acc: dict,
+                 sent_by: dict) -> None:
+        self._bus = kernel.net.bus
+        self._heap = heap
+        self._acc = acc
+        self._sent_by = sent_by
+        self._seq = count()
+        self._delay = kernel._delay
+        self._observers = self._bus._observers
+        self._tracer = self._bus._tracer
+        #: nothing per-message beyond accounting + delay + heap push:
+        #: no observers, tracer, fault hook, or loss draws to interleave
+        self.fast = (
+            not self._observers
+            and self._tracer is None
+            and self._bus._fault_hook is None
+            and not self._bus._loss_rate
+        )
+
+    def emit(
+        self,
+        t: float,
+        src: int,
+        dst: int,
+        kind: str,
+        code: int,
+        aux,
+        d: float | None = None,
+    ) -> None:
+        size = _SIZES[kind]
+        a = self._acc[kind]
+        a[_SENT] += 1
+        self._sent_by[kind][src] += 1
+        if self.fast:
+            if d is None:
+                d = self._delay(src, dst)
+            heapq.heappush(
+                self._heap, (t + d, next(self._seq), code, src, dst, aux)
+            )
+            return
+        for ob in self._observers:
+            rec = getattr(ob, "record", None)
+            if rec is not None:  # time-aware observer (e.g. SendLog)
+                rec(t, src, dst, kind, size)
+            else:
+                ob.observe(src, dst, size, kind)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(
+                "bus", "send", time=t, src=src, dst=dst, kind=kind, size=size
+            )
+        bus = self._bus
+        if d is None:
+            d = self._delay(src, dst)
+        if bus._fault_hook is not None:
+            penalty = bus._fault_hook(src, dst, kind)
+            if penalty == math.inf:
+                a[_FAULT] += 1
+                if tracer is not None:
+                    tracer.emit(
+                        "bus", "drop", time=t,
+                        src=src, dst=dst, kind=kind, reason="fault",
+                    )
+                return
+            d += penalty
+        if d < 0.0:
+            raise SimulationError(
+                f"negative total delay {d} for {kind} {src}->{dst} "
+                f"(extra_delay/fault penalty exceeds the underlay latency)"
+            )
+        if bus._loss_rate and bus._loss_rng.random() < bus._loss_rate:
+            a[_LOSS] += 1
+            if tracer is not None:
+                tracer.emit(
+                    "bus", "drop", time=t,
+                    src=src, dst=dst, kind=kind, reason="loss",
+                )
+            return
+        heapq.heappush(self._heap, (t + d, next(self._seq), code, src, dst, aux))
+
+
+class FloodKernel:
+    """Batched expansion of Gnutella descriptor floods for one network."""
+
+    def __init__(self, net: "GnutellaNetwork") -> None:
+        self.net = net
+        self._lat = net.bus.latency
+        self._row = getattr(self._lat, "one_way_delay_row", None)
+        self._memo: dict[Hashable, dict[Hashable, float]] = {}
+
+    def _memo_row(self, src: int) -> dict:
+        memo = self._memo
+        row = memo.get(src)
+        if row is None:
+            if len(memo) >= _MEMO_CAP:
+                memo.clear()
+            row = memo[src] = {}
+        return row
+
+    def _delay(self, src: int, dst: int) -> float:
+        row = self._memo_row(src)
+        d = row.get(dst)
+        if d is None:
+            d = row[dst] = self._lat.one_way_delay(src, dst)
+        return d
+
+    def _commit(self, acc: dict, sent_by: dict, recv_by: dict) -> None:
+        """Fold the expansion's aggregate accounting into the bus stats,
+        bound metric cells, and per-node counters — one pass per kind and
+        per (node, kind) instead of one update per message."""
+        net = self.net
+        bus = net.bus
+        nodes = net.nodes
+        for kind, a in acc.items():
+            if any(a):
+                bus.account_external(
+                    kind,
+                    sent=a[_SENT],
+                    bytes_sent=a[_SENT] * _SIZES[kind],
+                    delivered=a[_DELIV],
+                    dropped_loss=a[_LOSS],
+                    dropped_fault=a[_FAULT],
+                    dropped_no_handler=a[_NH],
+                )
+        for kind, per_host in sent_by.items():
+            for host, n in per_host.items():
+                node = nodes[host]
+                node.sent_counts[kind] += n
+                metric = node._sent_metric
+                if metric is not None:
+                    metric.inc(n, kind=kind)
+        for kind, per_host in recv_by.items():
+            for host, n in per_host.items():
+                node = nodes[host]
+                node.received_counts[kind] += n
+                metric = node._received_metric
+                if metric is not None:
+                    metric.inc(n, kind=kind)
+
+    # ------------------------------------------------------------------ queries
+    def expand_query(self, origin: "GnutellaNode", query: "Query") -> None:
+        """Expand one QUERY flood (issued by ``origin``) to quiescence.
+
+        Equivalent to the per-message path: same sends at the same
+        virtual times, same drops, same counters, same hit records (hits
+        arriving at the origin are committed through
+        ``sim.schedule_many`` at their virtual delivery times, so
+        first-hit latencies match bit-for-bit).
+        """
+        net = self.net
+        bus = net.bus
+        sim = net.sim
+        nodes = net.nodes
+        handlers = bus._handlers
+        t0 = sim.now
+        guid = query.guid
+        key = ("QUERY", guid)
+        keyword = query.keyword
+        init_ttl = query.ttl
+        origin_host = origin.host_id
+
+        # marks surviving from an earlier flood of this GUID (None for a
+        # fresh GUID — the overwhelmingly common case)
+        prev = net.seen.membership(key)
+        flood_seen = {origin_host}
+        accepted = [origin_host]
+        acc = {"QUERY": [0] * 5, "QUERYHIT": [0] * 5}
+        sent_by: dict = {
+            "QUERY": defaultdict(int), "QUERYHIT": defaultdict(int)
+        }
+        recv_by: dict = {
+            "QUERY": defaultdict(int), "QUERYHIT": defaultdict(int)
+        }
+        heap: list = []
+        em = _Emitter(self, heap, acc, sent_by)
+        emit = em.emit
+        dup_drops = 0
+        ttl_drops = 0
+        hops_depths: list[int] = []
+        level_counts: dict[int, int] = defaultdict(int)
+        level_counts[0] += 1
+        hit_commits: list[tuple[float, int]] = []
+
+        # -- origin expansion (the synchronous part of start_query) ----------
+        if origin.role == ULTRAPEER:
+            responders: list[int] = []
+            if keyword in origin.shared:
+                responders.append(origin_host)
+            responders.extend(sorted(origin.leaf_index.get(keyword, ())))
+            if responders:
+                hops_depths.append(0)
+            for responder in responders:
+                # via=None on the reference path: recorded directly
+                net.record_hit(guid, responder)
+            if init_ttl > 1:
+                targets = list(origin.neighbors)
+                fwd_ttl = init_ttl - 1
+            else:
+                targets = []
+                fwd_ttl = 0
+                ttl_drops += 1
+        else:
+            # a leaf hands the query to its ultrapeers, TTL unchanged
+            targets = list(origin.neighbors)
+            fwd_ttl = init_ttl
+        if targets and not origin.online:
+            # the reference path marks the flood seen, then the first
+            # outbound send raises
+            net.seen.mark_many([origin_host], key)
+            hh = net.query_hops_hist
+            if hh is not None:
+                for d in hops_depths:
+                    hh.observe(d)
+            raise OverlayError(
+                f"node {origin_host} tried to send QUERY while offline"
+            )
+        for dst in targets:
+            emit(t0, origin_host, dst, "QUERY", _FWD, fwd_ttl)
+
+        # -- frontier loop: arrivals in simulator (time, seq) order -----------
+        # hoisted locals: this loop touches every message of the flood
+        acc_q = acc["QUERY"]
+        acc_h = acc["QUERYHIT"]
+        sent_q = sent_by["QUERY"]
+        recv_q = recv_by["QUERY"]
+        recv_h = recv_by["QUERYHIT"]
+        fast = em.fast
+        memo_row = self._memo_row
+        one_way = self._lat.one_way_delay
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        seq = em._seq
+        nodes_get = nodes.get
+        last_t = t0
+        while heap:
+            t, _s, code, src, dst, aux = heappop(heap)
+            last_t = t
+            if code == _FWD:
+                if dst not in handlers:
+                    acc_q[_NH] += 1
+                    continue
+                acc_q[_DELIV] += 1
+                node = nodes_get(dst)
+                if node is None or not node.online:
+                    continue
+                recv_q[dst] += 1
+                if dst in flood_seen or (prev is not None and prev(dst)):
+                    dup_drops += 1
+                    continue
+                flood_seen.add(dst)
+                accepted.append(dst)
+                node._route_back[key] = src
+                ttl = aux
+                depth = init_ttl - ttl
+                level_counts[depth] += 1
+                responders = []
+                if keyword in node.shared:
+                    responders.append(dst)
+                responders.extend(sorted(node.leaf_index.get(keyword, ())))
+                if responders:
+                    hops_depths.append(depth)
+                for responder in responders:
+                    emit(t, dst, src, "QUERYHIT", _BACK, responder)
+                if ttl > 1 and node.role == ULTRAPEER:
+                    fts = [nb for nb in node.neighbors if nb != src]
+                    if len(fts) >= _ROW_GATHER_MIN and self._row is not None:
+                        for nb, dd in zip(fts, self._row(dst, fts)):
+                            emit(t, dst, nb, "QUERY", _FWD, ttl - 1,
+                                 d=float(dd))
+                    elif fast:
+                        # inlined emit: forwards are the bulk of a flood
+                        ttl1 = ttl - 1
+                        n_fts = len(fts)
+                        acc_q[_SENT] += n_fts
+                        sent_q[dst] += n_fts
+                        row = memo_row(dst)
+                        row_get = row.get
+                        for nb in fts:
+                            dd = row_get(nb)
+                            if dd is None:
+                                dd = row[nb] = one_way(dst, nb)
+                            heappush(
+                                heap, (t + dd, next(seq), _FWD, dst, nb, ttl1)
+                            )
+                    else:
+                        for nb in fts:
+                            emit(t, dst, nb, "QUERY", _FWD, ttl - 1)
+                elif node.role == ULTRAPEER:
+                    ttl_drops += 1
+            else:  # QUERYHIT routing back toward the origin
+                if dst not in handlers:
+                    acc_h[_NH] += 1
+                    continue
+                acc_h[_DELIV] += 1
+                node = nodes_get(dst)
+                if node is None or not node.online:
+                    continue
+                recv_h[dst] += 1
+                if net.query_origin(guid) == dst:
+                    hit_commits.append((t, aux))
+                    continue
+                back = node._route_back.get(key)
+                if back is None:
+                    continue  # route evaporated; drop silently
+                emit(t, dst, back, "QUERYHIT", _BACK, aux)
+
+        # -- commit ------------------------------------------------------------
+        self._commit(acc, sent_by, recv_by)
+        net.drop_counts["duplicate"] += dup_drops
+        net.drop_counts["ttl"] += ttl_drops
+        hh = net.query_hops_hist
+        if hh is not None:
+            for d in hops_depths:
+                hh.observe(d)
+        net.seen.mark_many(accepted, key)
+        ctr = net.queries_expanded_ctr
+        if ctr is not None:
+            ctr.inc(kind="QUERY")
+        fh = net.query_frontier_hist
+        if fh is not None:
+            for depth in sorted(level_counts):
+                fh.observe(level_counts[depth])
+        if hit_commits:
+            # hits reach the origin at their virtual delivery times, so
+            # first-hit latency and listener firing order are preserved
+            sim.schedule_many(
+                (ht - t0, net.record_hit, (guid, responder))
+                for ht, responder in hit_commits
+            )
+        if last_t > t0:
+            sim.schedule(last_t - t0, _quiesce)
+
+    # ------------------------------------------------------------------ pings
+    def expand_ping_round(self) -> None:
+        """Expand one network-wide PING round (every online node pings
+        its connected peers at the current time) to quiescence.
+
+        Pong-cache and hostcache learning (``_learn_address``) is applied
+        eagerly in arrival order, so the cached-pong answers of later
+        arrivals see exactly the state the reference path would have.
+        """
+        net = self.net
+        bus = net.bus
+        nodes = net.nodes
+        handlers = bus._handlers
+        cfg = net.config
+        t0 = net.sim.now
+        pongs_head = cfg.pongs_per_ping - 1
+
+        acc = {"PING": [0] * 5, "PONG": [0] * 5}
+        sent_by: dict = {"PING": defaultdict(int), "PONG": defaultdict(int)}
+        recv_by: dict = {"PING": defaultdict(int), "PONG": defaultdict(int)}
+        heap: list = []
+        em = _Emitter(self, heap, acc, sent_by)
+        emit = em.emit
+        dup_drops = 0
+        ttl_drops = 0
+        flood_seen: dict[int, set[int]] = {}
+        origin_of: dict[int, int] = {}
+        level_counts: dict[tuple[int, int], int] = defaultdict(int)
+        seen = net.seen
+
+        # all pings are issued synchronously at t0 in node order, exactly
+        # like the reference loop over start_ping(); origins are marked
+        # eagerly so seen-window key admission order matches
+        for node in nodes.values():
+            if not node.online:
+                continue
+            guid = net.next_guid()
+            origin_of[guid] = node.host_id
+            flood_seen[guid] = {node.host_id}
+            seen.mark(node.host_id, ("PING", guid))
+            level_counts[(guid, 0)] += 1
+            for dst in node._connected_peers():
+                emit(t0, node.host_id, dst, "PING", _FWD, (guid, cfg.ping_ttl))
+
+        last_t = t0
+        while heap:
+            t, _s, code, src, dst, aux = heapq.heappop(heap)
+            last_t = t
+            guid, arg = aux
+            if code == _FWD:  # PING arrival
+                if dst not in handlers:
+                    acc["PING"][_NH] += 1
+                    continue
+                acc["PING"][_DELIV] += 1
+                node = nodes.get(dst)
+                if node is None or not node.online:
+                    continue
+                recv_by["PING"][dst] += 1
+                key = ("PING", guid)
+                local = flood_seen[guid]
+                if dst in local or seen.test(dst, key):
+                    dup_drops += 1
+                    continue
+                local.add(dst)
+                node._route_back[key] = src
+                ttl = arg
+                level_counts[(guid, cfg.ping_ttl - ttl)] += 1
+                # answer: own pong + cached addresses (skip the origin)
+                emit(t, dst, src, "PONG", _BACK, (guid, dst))
+                origin = origin_of[guid]
+                for cached in node._pong_cache[:pongs_head]:
+                    if cached != origin:
+                        emit(t, dst, src, "PONG", _BACK, (guid, cached))
+                if ttl > 1 and node.role == ULTRAPEER:
+                    for nb in node._connected_peers():
+                        if nb != src:
+                            emit(t, dst, nb, "PING", _FWD, (guid, ttl - 1))
+                elif node.role == ULTRAPEER:
+                    ttl_drops += 1
+            else:  # PONG arrival (arg = advertised peer address)
+                if dst not in handlers:
+                    acc["PONG"][_NH] += 1
+                    continue
+                acc["PONG"][_DELIV] += 1
+                node = nodes.get(dst)
+                if node is None or not node.online:
+                    continue
+                recv_by["PONG"][dst] += 1
+                key = ("PING", guid)
+                saw = dst in flood_seen[guid] or seen.test(dst, key)
+                if saw and key not in node._route_back:
+                    # originator: consume
+                    node._learn_address(arg)
+                    continue
+                back = node._route_back.get(key)
+                if back is not None:
+                    emit(t, dst, back, "PONG", _BACK, (guid, arg))
+                node._learn_address(arg)
+
+        self._commit(acc, sent_by, recv_by)
+        net.drop_counts["duplicate"] += dup_drops
+        net.drop_counts["ttl"] += ttl_drops
+        for guid, hosts in flood_seen.items():
+            seen.mark_many(list(hosts), ("PING", guid))
+        ctr = net.queries_expanded_ctr
+        if ctr is not None and origin_of:
+            ctr.inc(len(origin_of), kind="PING")
+        fh = net.query_frontier_hist
+        if fh is not None:
+            for k in sorted(level_counts):
+                fh.observe(level_counts[k])
+        if last_t > t0:
+            net.sim.schedule(last_t - t0, _quiesce)
+
+
+__all__ = ["FloodKernel"]

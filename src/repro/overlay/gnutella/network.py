@@ -29,7 +29,7 @@ from repro.collection.oracle import ISPOracle
 from repro.core.peerstate import PeerState
 from repro.errors import OverlayError
 from repro.obs import active_registry
-from repro.obs.registry import Histogram, MetricRegistry
+from repro.obs.registry import Counter, Histogram, MetricRegistry
 from repro.overlay.gnutella.node import (
     LEAF,
     ULTRAPEER,
@@ -39,6 +39,7 @@ from repro.overlay.gnutella.node import (
 from repro.rng import SeedLike, ensure_rng
 from repro.sim.engine import Simulation
 from repro.sim.messages import MessageBus
+from repro.sim.queryplane import QUERY_AUTO_NODE_THRESHOLD, SeenFilter
 from repro.sim.shard import ShardedScheduler, sharded_scheduling_enabled
 from repro.underlay.hosts import Host
 from repro.underlay.network import Underlay
@@ -89,11 +90,20 @@ class GnutellaNetwork:
         external_quota: int = 1,
         rng: SeedLike = None,
         use_peerstate: bool = True,
+        query_backend: str = "auto",
+        search_retention: Optional[int] = None,
     ) -> None:
         if policy is NeighborPolicy.BIASED and oracle is None:
             raise OverlayError("BIASED policy requires an oracle")
         if external_quota < 0:
             raise OverlayError("external_quota must be non-negative")
+        if query_backend not in ("auto", "batch", "reference"):
+            raise OverlayError(
+                f"query_backend must be 'auto', 'batch' or 'reference', "
+                f"got {query_backend!r}"
+            )
+        if search_retention is not None and search_retention < 1:
+            raise OverlayError("search_retention must be >= 1")
         self.underlay = underlay
         self.sim = sim
         self.bus = bus
@@ -115,6 +125,19 @@ class GnutellaNetwork:
             if self.peerstate is not None
             else None
         )
+        #: bounded network-wide (GUID, host) duplicate-suppression window
+        #: shared by the per-message handlers and the batch flood kernel
+        self.seen = SeenFilter(
+            self.config.seen_window,
+            peerstate=self.peerstate,
+            bitmap_name="gnutella_seen",
+        )
+        #: protocol-level drops (surfaced through :meth:`message_counts`):
+        #: duplicate descriptors suppressed, TTL-expired non-forwards
+        self.drop_counts: dict[str, int] = {"duplicate": 0, "ttl": 0}
+        self.query_backend = query_backend
+        self.search_retention = search_retention
+        self._flood_kernel = None
         self._guid_counter = 0
         self.searches: dict[int, SearchRecord] = {}
         #: optional hook invoked with the :class:`SearchRecord` when its
@@ -124,6 +147,8 @@ class GnutellaNetwork:
         #: set by :meth:`instrument`; nodes observe answered-query hop
         #: counts here (``None`` keeps the hot path uninstrumented)
         self.query_hops_hist: Optional[Histogram] = None
+        self.queries_expanded_ctr: Optional[Counter] = None
+        self.query_frontier_hist: Optional[Histogram] = None
         self._registry: Optional[MetricRegistry] = None
         registry = active_registry()
         if registry is not None:
@@ -137,6 +162,18 @@ class GnutellaNetwork:
             "gnutella_query_hops",
             "Overlay hops a QUERY travelled before being answered.",
             buckets=tuple(range(0, 12)),
+        )
+        self.queries_expanded_ctr = registry.counter(
+            "queries_expanded_total",
+            "Descriptor floods expanded by the frontier-batched query "
+            "plane, by descriptor kind.",
+            ("kind",),
+        )
+        self.query_frontier_hist = registry.histogram(
+            "query_frontier_size",
+            "Per-hop frontier width (accepted hosts per TTL level) of "
+            "batch-expanded floods.",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096),
         )
         for node in self.nodes.values():
             node.instrument(registry, "gnutella")
@@ -295,8 +332,31 @@ class GnutellaNetwork:
         if node.online and len(node.neighbors) < node.desired_connections():
             node.join(self.ranked_candidates(node))
 
+    # -- query plane backend ------------------------------------------------------
+    def query_plane_active(self) -> bool:
+        """Whether floods expand through the batch kernel: forced by
+        ``query_backend="batch"``/``"reference"``, or (``"auto"``) on once
+        the population reaches ``QUERY_AUTO_NODE_THRESHOLD`` hosts."""
+        if self.query_backend == "batch":
+            return True
+        if self.query_backend == "reference":
+            return False
+        return len(self.nodes) >= QUERY_AUTO_NODE_THRESHOLD
+
+    @property
+    def flood_kernel(self):
+        """The frontier-batched expansion kernel (built on first use)."""
+        if self._flood_kernel is None:
+            from repro.overlay.gnutella.flood import FloodKernel
+
+            self._flood_kernel = FloodKernel(self)
+        return self._flood_kernel
+
     def ping_round(self) -> None:
         """Every node emits one PING round (call after joins settle)."""
+        if self.query_plane_active():
+            self.flood_kernel.expand_ping_round()
+            return
         for node in self.nodes.values():
             if node.online:
                 node.start_ping()
@@ -331,6 +391,11 @@ class GnutellaNetwork:
         self.searches[guid] = SearchRecord(
             guid=guid, origin=origin, keyword=keyword, issued_at=self.sim.now
         )
+        if self.search_retention is not None:
+            # bounded bookkeeping for open-ended service runs: drop the
+            # oldest records (FIFO, matching the seen-window expiry model)
+            while len(self.searches) > self.search_retention:
+                del self.searches[next(iter(self.searches))]
 
     def query_origin(self, guid: int) -> Optional[int]:
         rec = self.searches.get(guid)
@@ -417,8 +482,14 @@ class GnutellaNetwork:
         return same / len(edges)
 
     def message_counts(self) -> dict[str, int]:
-        """Bus-level per-kind counts (every forwarded hop counts once)."""
-        return dict(self.bus.stats.by_kind)
+        """Bus-level per-kind counts (every forwarded hop counts once),
+        plus protocol-level drop totals: ``dropped_duplicate`` (descriptor
+        copies suppressed by the seen filter) and ``dropped_ttl``
+        (descriptors an ultrapeer declined to forward at TTL expiry)."""
+        counts = dict(self.bus.stats.by_kind)
+        counts["dropped_duplicate"] = self.drop_counts["duplicate"]
+        counts["dropped_ttl"] = self.drop_counts["ttl"]
+        return counts
 
     def search_success_rate(self) -> float:
         if not self.searches:

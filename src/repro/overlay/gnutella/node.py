@@ -41,6 +41,7 @@ from repro.overlay.gnutella.messages import (
 )
 from repro.sim.engine import Simulation
 from repro.sim.messages import Message, MessageBus
+from repro.sim.queryplane import BoundedRouteTable
 from repro.sim.requests import RequestManager, RetryPolicy
 from repro.underlay.hosts import Host
 
@@ -72,6 +73,14 @@ class GnutellaConfig:
     pong_cache_size: int = 20
     connect_timeout_ms: float = 4000.0
     connect_max_retries: int = 1
+    #: duplicate-suppression window: at most this many distinct in-flight
+    #: descriptor GUIDs are remembered network-wide (FIFO expiry; see
+    #: :class:`repro.sim.queryplane.SeenFilter`) — long service runs stay
+    #: memory-flat instead of accreting every GUID ever flooded
+    seen_window: int = 4096
+    #: per-node reverse-route window (QUERYHIT/PONG back-routing); an
+    #: expired route is the existing "route evaporated" drop case
+    route_cache_size: int = 4096
 
     def __post_init__(self) -> None:
         if self.query_ttl < 1 or self.ping_ttl < 1:
@@ -84,6 +93,8 @@ class GnutellaConfig:
             raise OverlayError("pong parameters must be >= 1")
         if self.connect_timeout_ms <= 0 or self.connect_max_retries < 0:
             raise OverlayError("invalid connect retry configuration")
+        if self.seen_window < 1 or self.route_cache_size < 1:
+            raise OverlayError("suppression windows must be >= 1")
 
 
 class GnutellaNode(OverlayNode):
@@ -122,8 +133,10 @@ class GnutellaNode(OverlayNode):
             self.leaves = set()         # UP only
         self.leaf_index: dict[int, set[int]] = {}  # keyword -> leaf host ids
         self.shared: set[int] = set()
-        self._seen: set[tuple[str, int]] = set()
-        self._route_back: dict[tuple[str, int], int] = {}
+        # duplicate suppression lives in the network-wide bounded
+        # SeenFilter (one bit per host per live GUID); reverse routes are
+        # FIFO-bounded so neither grows with total queries ever issued
+        self._route_back = BoundedRouteTable(config.route_cache_size)
         self._pong_cache: list[int] = []
         self._pending_candidates: list[int] = []
         self.requests = RequestManager(
@@ -254,11 +267,19 @@ class GnutellaNode(OverlayNode):
         if self.role == LEAF and len(self.neighbors) < self.desired_connections():
             self.network.schedule_repair(self)
 
+    # ---------------------------------------------------------- dup suppression
+    def _saw(self, key: tuple[str, int]) -> bool:
+        """Whether this host already handled the descriptor ``key``."""
+        return self.network.seen.test(self.host_id, key)
+
+    def _mark_seen(self, key: tuple[str, int]) -> None:
+        self.network.seen.mark(self.host_id, key)
+
     # ------------------------------------------------------------------ ping/pong
     def start_ping(self) -> None:
         """Emit one PING round to all connected peers."""
         guid = self.network.next_guid()
-        self._seen.add(("PING", guid))
+        self._mark_seen(("PING", guid))
         ping = Ping(guid=guid, ttl=self.config.ping_ttl, origin=self.host_id)
         self.send_many(list(self._connected_peers()), "PING", ping, PING_SIZE)
 
@@ -270,9 +291,10 @@ class GnutellaNode(OverlayNode):
     def on_ping(self, msg: Message) -> None:
         ping: Ping = msg.payload
         key = ("PING", ping.guid)
-        if key in self._seen:
+        if self._saw(key):
+            self.network.drop_counts["duplicate"] += 1
             return
-        self._seen.add(key)
+        self._mark_seen(key)
         self._route_back[key] = msg.src
         # answer: own pong + cached addresses
         self.send(msg.src, "PONG", Pong(ping.guid, self.host_id, len(self.shared)),
@@ -287,11 +309,13 @@ class GnutellaNode(OverlayNode):
                 [nb for nb in self._connected_peers() if nb != msg.src],
                 "PING", fwd, PING_SIZE,
             )
+        elif self.role == ULTRAPEER:
+            self.network.drop_counts["ttl"] += 1
 
     def on_pong(self, msg: Message) -> None:
         pong: Pong = msg.payload
         key = ("PING", pong.guid)
-        if key in self._seen and key not in self._route_back:
+        if self._saw(key) and key not in self._route_back:
             # we originated the ping: consume
             self._learn_address(pong.peer)
             return
@@ -314,11 +338,16 @@ class GnutellaNode(OverlayNode):
     def start_query(self, keyword: int) -> int:
         """Issue a query; returns its GUID (results collect in the network)."""
         guid = self.network.next_guid()
-        self._seen.add(("QUERY", guid))
         query = Query(
             guid=guid, ttl=self.config.query_ttl, keyword=keyword, origin=self.host_id
         )
         self.network.register_query(guid, self.host_id, keyword)
+        if self.network.query_plane_active():
+            # frontier-batched expansion: the whole flood is computed as
+            # array operations at issue time (same messages, same times)
+            self.network.flood_kernel.expand_query(self, query)
+            return guid
+        self._mark_seen(("QUERY", guid))
         if self.role == LEAF:
             # leaves hand the query to their ultrapeers
             for up in self.neighbors:
@@ -330,9 +359,10 @@ class GnutellaNode(OverlayNode):
     def on_query(self, msg: Message) -> None:
         query: Query = msg.payload
         key = ("QUERY", query.guid)
-        if key in self._seen:
+        if self._saw(key):
+            self.network.drop_counts["duplicate"] += 1
             return
-        self._seen.add(key)
+        self._mark_seen(key)
         self._route_back[key] = msg.src
         self._answer_and_flood(query, from_peer=msg.src)
 
@@ -355,6 +385,8 @@ class GnutellaNode(OverlayNode):
                 [nb for nb in self.neighbors if nb != from_peer],
                 "QUERY", fwd, QUERY_SIZE,
             )
+        elif self.role == ULTRAPEER:
+            self.network.drop_counts["ttl"] += 1
 
     def _route_hit(self, hit: QueryHit, via: Optional[int]) -> None:
         if via is None:

@@ -59,6 +59,11 @@ class KademliaConfig:
     rpc_backoff_factor: float = 2.0
     rpc_max_timeout_ms: Optional[float] = None
     max_rounds: int = 32
+    #: dispatch a lookup round's alpha RPCs as one batch (single timeout
+    #: heap insert via ``RequestManager.issue_many``) instead of one
+    #: issue per RPC; transmits still happen in per-RPC order, so bus
+    #: accounting and loss draws are unchanged
+    round_batching: bool = True
 
     def __post_init__(self) -> None:
         if self.k < 1 or self.alpha < 1:
@@ -165,10 +170,17 @@ class _Lookup:
                 key=lambda i: (self.contact_of[i].rtt_ms,
                                xor_distance(i, self.target)),
             )
-        for nid in candidates[:budget]:
+        dispatch = candidates[:budget]
+        for nid in dispatch:
             self.state[nid] = self._INFLIGHT
-            self.node._send_lookup_rpc(self, self.contact_of[nid])
-            self.result.rpcs_sent += 1
+        self.result.rpcs_sent += len(dispatch)
+        if cfg.round_batching and len(dispatch) > 1:
+            self.node._send_lookup_rpcs(
+                self, [self.contact_of[nid] for nid in dispatch]
+            )
+        else:
+            for nid in dispatch:
+                self.node._send_lookup_rpc(self, self.contact_of[nid])
 
     def on_reply(
         self, responder: Contact, contacts: list[Contact], values: set[int]
@@ -306,6 +318,40 @@ class KademliaNode(OverlayNode):
         self.requests.issue(
             rpc_id, transmit, on_fail=lambda: self._rpc_failed(rpc_id)
         )
+
+    def _send_lookup_rpcs(
+        self, lookup: _Lookup, target_contacts: "list[Contact]"
+    ) -> None:
+        """Round-batched form of :meth:`_send_lookup_rpc`: the round's
+        alpha RPCs transmit in contact order (identical sends and loss
+        draws), then all first-attempt timeouts are armed with a single
+        heap insert through :meth:`RequestManager.issue_many`."""
+        if not self.online:
+            self.sim.schedule_many(
+                (0.0, lookup.on_timeout, (c.node_id,)) for c in target_contacts
+            )
+            return
+        kind = "FIND_VALUE" if lookup.find_value else "FIND_NODE"
+        items = []
+        for contact in target_contacts:
+            rpc_id = next(self._rpc_seq)
+            payload = {
+                "rpc_id": rpc_id,
+                "target": lookup.target,
+                "sender_id": self.node_id,
+            }
+            self._pending[rpc_id] = (lookup, contact, self.sim.now)
+
+            def transmit(
+                host: int = contact.host_id, p: dict = payload
+            ) -> None:
+                if self.online:
+                    self.send(host, kind, p, RPC_REQUEST_SIZE)
+
+            items.append(
+                (rpc_id, transmit, lambda r=rpc_id: self._rpc_failed(r))
+            )
+        self.requests.issue_many(items)
 
     def _rpc_failed(self, rpc_id: int) -> None:
         """All attempts timed out: purge the contact, notify the lookup."""

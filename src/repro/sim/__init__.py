@@ -13,6 +13,11 @@ Public surface:
 - :class:`~repro.sim.flows.FlowNetwork` / :func:`~repro.sim.flows.max_min_rates`
   / :func:`~repro.sim.flows.single_link_waterfill` — flow-level max-min
   fair bandwidth sharing over capacitated links.
+- :class:`~repro.sim.queryplane.SeenFilter` /
+  :class:`~repro.sim.queryplane.BoundedRouteTable` /
+  :class:`~repro.sim.queryplane.SendLog` — bounded duplicate
+  suppression, reverse-path routing state, and the message-level
+  trace digest behind the frontier-batched query plane.
 """
 
 from repro.sim.churn import ChurnConfig, ChurnProcess, draw_duration
@@ -20,6 +25,13 @@ from repro.sim.engine import EventHandle, Simulation
 from repro.sim.flows import FlowNetwork, max_min_rates, single_link_waterfill
 from repro.sim.messages import BusStats, Message, MessageBus
 from repro.sim.process import PeriodicProcess, call_after
+from repro.sim.queryplane import (
+    QUERY_AUTO_NODE_THRESHOLD,
+    BoundedRouteTable,
+    SeenFilter,
+    SendLog,
+    flood_trace_digest,
+)
 from repro.sim.requests import RequestManager, RequestStats, RetryPolicy
 from repro.sim.shard import (
     ShardedScheduler,
@@ -28,6 +40,7 @@ from repro.sim.shard import (
 )
 
 __all__ = [
+    "BoundedRouteTable",
     "BusStats",
     "ChurnConfig",
     "ChurnProcess",
@@ -36,14 +49,18 @@ __all__ = [
     "Message",
     "MessageBus",
     "PeriodicProcess",
+    "QUERY_AUTO_NODE_THRESHOLD",
     "RequestManager",
     "RequestStats",
     "RetryPolicy",
+    "SeenFilter",
+    "SendLog",
     "ShardedScheduler",
     "Simulation",
     "call_after",
     "configure_sharded_scheduling",
     "draw_duration",
+    "flood_trace_digest",
     "max_min_rates",
     "sharded_scheduling_enabled",
     "single_link_waterfill",

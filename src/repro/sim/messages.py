@@ -190,6 +190,57 @@ class MessageBus:
         if rate and self._loss_rng is None:
             self._loss_rng = np.random.default_rng(self._loss_seed)
 
+    @property
+    def latency(self) -> LatencyProvider:
+        """The delay provider messages are scheduled against — batch
+        expansion kernels read it to compute virtual delivery times with
+        the exact per-pair values the per-message path would use."""
+        return self._latency
+
+    def account_external(
+        self,
+        kind: str,
+        *,
+        sent: int = 0,
+        bytes_sent: int = 0,
+        delivered: int = 0,
+        dropped_loss: int = 0,
+        dropped_fault: int = 0,
+        dropped_no_handler: int = 0,
+    ) -> None:
+        """Fold a batch of *externally simulated* traffic into the bus
+        counters — the commit half of a frontier-batched flood expansion
+        (:mod:`repro.sim.queryplane`), which delivers messages inside its
+        own kernel loop without touching the event heap.  One call per
+        kind updates :class:`BusStats` and the bound metric cells exactly
+        as ``sent``/``delivered`` individual messages would have; traffic
+        observers are *not* notified here (kernels call them per message,
+        in send order, so accounting totals match the reference path).
+        """
+        stats = self.stats
+        if sent:
+            stats.sent += sent
+            stats.bytes_sent += bytes_sent
+            stats.by_kind[kind] = stats.by_kind.get(kind, 0) + sent
+        stats.delivered += delivered
+        stats.dropped_loss += dropped_loss
+        stats.dropped_fault += dropped_fault
+        stats.dropped_no_handler += dropped_no_handler
+        cells = self._kind_cells
+        if cells is not None:
+            kc = cells.get(kind) or self._bind_kind(kind)
+            if sent:
+                kc[0].inc(sent)
+                kc[1].inc(bytes_sent)
+            if delivered:
+                kc[2].inc(delivered)
+            if dropped_loss:
+                self._drop_loss_cell.inc(dropped_loss)
+            if dropped_fault:
+                self._drop_fault_cell.inc(dropped_fault)
+            if dropped_no_handler:
+                self._drop_nohandler_cell.inc(dropped_no_handler)
+
     def set_fault_hook(self, hook: Optional[FaultHook]) -> None:
         """Install (or with ``None`` remove) the fault-injection hook.
 

@@ -194,6 +194,71 @@ class RequestManager:
             raise
         self.stats.issued += 1
 
+    def issue_many(
+        self,
+        items: "list[tuple[Hashable, Callable[[], None], Optional[Callable[[], None]]]]",
+        *,
+        policy: RetryPolicy | None = None,
+    ) -> None:
+        """Issue one batch of ``(key, transmit, on_fail)`` requests.
+
+        Semantically the round-batched form of calling :meth:`issue` per
+        item: every transmit runs in item order (so bus sends — and any
+        loss draws they trigger — happen in exactly the per-item
+        sequence), then all first-attempt timeouts are armed with a
+        single :meth:`~repro.sim.engine.Simulation.schedule_many` heap
+        insert instead of one ``heappush`` per request.  This is what an
+        iterative-lookup round issuing its α RPCs wants.
+
+        If a transmit raises, requests already transmitted keep their
+        timeouts armed (they are in flight and must be able to retry or
+        fail), the not-yet-transmitted tail is rolled back, and the
+        exception propagates.
+        """
+        pol = policy or self.policy
+        entries: list[tuple[Hashable, _Outstanding]] = []
+        now = self.sim.now
+        for key, transmit, on_fail in items:
+            if key in self._outstanding:
+                raise SimulationError(f"request {key!r} is already outstanding")
+            entry = _Outstanding(transmit, on_fail, pol, now)
+            self._outstanding[key] = entry
+            entries.append((key, entry))
+        sent = 0
+        try:
+            for _key, entry in entries:
+                entry.transmit()
+                sent += 1
+        except BaseException:
+            for key, entry in entries[sent:]:
+                # transmit may have synchronously resolved/cancelled the
+                # key before raising; only roll back our own entry
+                if self._outstanding.get(key) is entry:
+                    del self._outstanding[key]
+            self._arm_batch(entries[:sent])
+            self.stats.issued += sent
+            raise
+        self._arm_batch(entries)
+        self.stats.issued += sent
+
+    def _arm_batch(
+        self, entries: "list[tuple[Hashable, _Outstanding]]"
+    ) -> None:
+        """Arm first-attempt timeouts for a batch with one heap insert."""
+        live = [
+            (key, entry)
+            for key, entry in entries
+            if self._outstanding.get(key) is entry
+        ]
+        if not live:
+            return
+        handles = self.sim.schedule_many(
+            (entry.policy.timeout_for_attempt(0), self._on_timeout, (key,))
+            for key, entry in live
+        )
+        for (_key, entry), handle in zip(live, handles):
+            entry.handle = handle
+
     def is_outstanding(self, key: Hashable) -> bool:
         return key in self._outstanding
 

@@ -1,0 +1,271 @@
+"""Frontier-batched query plane vs the per-message reference path.
+
+The equivalence currency is the message-level send log: the sorted
+``(time, src, dst, kind, size)`` tuple set of every bus send, hashed by
+:func:`flood_trace_digest`.  Both backends must be bit-identical on it —
+and on bus stats, ``message_counts()`` (including the drop counters),
+per-node counters, search hits, and first-hit latencies — across seeds,
+loss rates (serial floods), whole-run fault windows, and TTL edge cases.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OverlayError
+from repro.faults import DelayFault, FaultInjector, FaultSchedule, LossFault
+from repro.overlay.gnutella import (
+    GnutellaConfig,
+    GnutellaNetwork,
+    Query,
+    ULTRAPEER,
+)
+from repro.overlay.kademlia.network import KademliaNetwork
+from repro.overlay.kademlia.node import KademliaConfig
+from repro.sim import Simulation
+from repro.sim.messages import MessageBus
+from repro.sim.queryplane import SendLog
+from repro.underlay import Underlay, UnderlayConfig
+
+SEEDS = (7, 11, 23)
+
+# one shared (read-only) underlay per population size keeps these tests
+# from re-running topology generation for every arm
+_UNDERLAYS: dict = {}
+
+
+def _underlay(n_hosts, seed=13):
+    key = (n_hosts, seed)
+    if key not in _UNDERLAYS:
+        _UNDERLAYS[key] = Underlay.generate(
+            UnderlayConfig(n_hosts=n_hosts, seed=seed)
+        )
+    return _UNDERLAYS[key]
+
+
+def _build(backend, *, seed, n_hosts=45, loss=0.0, ttl=5, seen_window=4096,
+           fault_schedule=None):
+    u = _underlay(n_hosts)
+    sim = Simulation()
+    bus = MessageBus(sim, u, loss_rate=loss, loss_seed=seed)
+    log = SendLog(sim)
+    bus.add_observer(log)
+    net = GnutellaNetwork(
+        u, sim, bus,
+        config=GnutellaConfig(query_ttl=ttl, seen_window=seen_window),
+        rng=seed, query_backend=backend,
+    )
+    injector = None
+    if fault_schedule is not None:
+        injector = FaultInjector(sim, bus, fault_schedule, seed=seed)
+        injector.start()
+    net.add_population(u.hosts)
+    net.bootstrap(cache_fill=30)
+    net.join_all()
+    sim.run()
+    for h in u.hosts:
+        net.share_content(h.host_id, [h.host_id % 7])
+    sim.run()
+    return u, sim, bus, net, log
+
+
+def _fingerprint(u, bus, net, log, guids):
+    return {
+        "digest": log.digest(),
+        "stats": (
+            bus.stats.sent, bus.stats.delivered, bus.stats.bytes_sent,
+            bus.stats.dropped_loss, bus.stats.dropped_fault,
+            bus.stats.dropped_no_handler,
+            dict(sorted(bus.stats.by_kind.items())),
+        ),
+        "message_counts": net.message_counts(),
+        "per_node": {
+            h.host_id: (
+                dict(net.nodes[h.host_id].sent_counts),
+                dict(net.nodes[h.host_id].received_counts),
+            )
+            for h in u.hosts
+        },
+        "hits": {g: sorted(net.searches[g].hits) for g in guids},
+        "first_hit": {
+            g: net.searches[g].first_hit_at
+            for g in guids
+            if not math.isnan(net.searches[g].first_hit_at)
+        },
+        "now": net.sim.now,
+    }
+
+
+def _run_workload(backend, *, seed, serial=False, **kwargs):
+    u, sim, bus, net, log = _build(backend, seed=seed, **kwargs)
+    log.clear()
+    net.ping_round()
+    sim.run()
+    guids = []
+    for h in u.hosts:
+        guids.append(net.search(h.host_id, (h.host_id + 3) % 7))
+        if serial:
+            sim.run()  # quiesce between floods: loss draws stay aligned
+    sim.run()
+    return _fingerprint(u, bus, net, log, guids)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_flood_workload_bit_identical(seed):
+    assert _run_workload("reference", seed=seed) == _run_workload(
+        "batch", seed=seed
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_serial_floods_bit_identical_under_loss(seed):
+    ref = _run_workload("reference", seed=seed, loss=0.12, serial=True)
+    bat = _run_workload("batch", seed=seed, loss=0.12, serial=True)
+    assert ref == bat
+    assert ref["stats"][3] > 0  # losses actually happened
+
+
+def test_whole_run_fault_window_bit_identical():
+    # windows spanning the whole run: the kernel calls the hook at
+    # expansion time, which only matters for hooks that change mid-flood
+    sched = FaultSchedule((
+        DelayFault(start=0.0, end=1e9, extra_ms=25.0),
+        LossFault(start=0.0, end=1e9, rate=1.0, src=0, dst=1),
+        LossFault(start=0.0, end=1e9, rate=1.0, src=1, dst=0),
+    ))
+    ref = _run_workload("reference", seed=7, fault_schedule=sched)
+    bat = _run_workload("batch", seed=7, fault_schedule=sched)
+    assert ref == bat
+
+
+@pytest.mark.parametrize("ttl", [1, 2])
+def test_ttl_edge_cases_bit_identical(ttl):
+    ref = _run_workload("reference", seed=11, ttl=ttl)
+    bat = _run_workload("batch", seed=11, ttl=ttl)
+    assert ref == bat
+    if ttl == 1:
+        # ttl=1 queries from ultrapeers never leave the origin; every
+        # ultrapeer expiry shows up in the drop counter on both paths
+        assert bat["message_counts"]["dropped_ttl"] > 0
+
+
+def test_config_rejects_invalid_ttl_and_windows():
+    with pytest.raises(OverlayError):
+        GnutellaConfig(query_ttl=0)
+    with pytest.raises(OverlayError):
+        GnutellaConfig(ping_ttl=0)
+    with pytest.raises(OverlayError):
+        GnutellaConfig(seen_window=0)
+    with pytest.raises(OverlayError):
+        GnutellaConfig(route_cache_size=0)
+
+
+def test_backend_toggle_validation_and_auto_threshold():
+    u = _underlay(8)
+    sim = Simulation()
+    bus = MessageBus(sim, u)
+    with pytest.raises(OverlayError):
+        GnutellaNetwork(u, sim, bus, query_backend="turbo")
+    net = GnutellaNetwork(u, sim, bus, query_backend="auto")
+    net.add_population(u.hosts)
+    assert not net.query_plane_active()  # tiny population stays reference
+    net.query_backend = "batch"
+    assert net.query_plane_active()
+
+
+def test_reflood_suppressed_then_deliverable_after_window_expiry():
+    u = _underlay(30)
+    sim = Simulation()
+    bus = MessageBus(sim, u)
+    net = GnutellaNetwork(
+        u, sim, bus,
+        config=GnutellaConfig(query_ttl=5, seen_window=2),
+        rng=5, query_backend="batch",
+    )
+    net.add_population(u.hosts, ultrapeer_fraction=1.0)
+    net.bootstrap(cache_fill=20)
+    net.join_all()
+    sim.run()
+    origin = next(n for n in net.nodes.values() if n.role == ULTRAPEER)
+
+    g1 = net.search(origin.host_id, 3)
+    sim.run()
+    first = bus.stats.by_kind["QUERY"]
+    assert first > 0
+
+    # immediate re-flood of the same GUID: every arrival is a duplicate,
+    # so only the origin's own fan-out is sent and nothing propagates
+    dup_before = net.drop_counts["duplicate"]
+    q = Query(guid=g1, ttl=net.config.query_ttl, keyword=3,
+              origin=origin.host_id)
+    net.flood_kernel.expand_query(origin, q)
+    sim.run()
+    refanout = bus.stats.by_kind["QUERY"] - first
+    assert refanout == len(origin.neighbors)
+    assert net.drop_counts["duplicate"] - dup_before == refanout
+
+    # two fresh floods push g1's key out of the window=2 seen filter ...
+    net.search(origin.host_id, 4)
+    sim.run()
+    net.search(origin.host_id, 5)
+    sim.run()
+    assert net.seen.expired_keys >= 1 and not net.seen.known(("QUERY", g1))
+
+    # ... after which the expired GUID floods the full mesh again
+    before = bus.stats.by_kind["QUERY"]
+    net.flood_kernel.expand_query(origin, q)
+    sim.run()
+    assert bus.stats.by_kind["QUERY"] - before == first
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    ttl=st.integers(min_value=1, max_value=6),
+    lossy=st.booleans(),
+)
+def test_flood_equivalence_property(seed, ttl, lossy):
+    loss = 0.08 if lossy else 0.0
+    ref = _run_workload(
+        "reference", seed=seed, n_hosts=30, ttl=ttl, loss=loss, serial=True
+    )
+    bat = _run_workload(
+        "batch", seed=seed, n_hosts=30, ttl=ttl, loss=loss, serial=True
+    )
+    assert ref == bat
+
+
+# ------------------------------------------------------------------ kademlia
+def _run_kademlia(batching, *, seed, loss=0.0):
+    u = _underlay(40)
+    sim = Simulation()
+    bus = MessageBus(sim, u, loss_rate=loss, loss_seed=seed)
+    log = SendLog(sim)
+    bus.add_observer(log)
+    net = KademliaNetwork(
+        u, sim, bus,
+        config=KademliaConfig(round_batching=batching), rng=seed,
+    )
+    net.add_all_hosts()
+    net.bootstrap_all()
+    sim.run()
+    log.clear()
+    stats = net.run_value_workload(10, 20)
+    sim.run()
+    return {
+        "digest": log.digest(),
+        "bus": (bus.stats.sent, bus.stats.delivered, bus.stats.dropped_loss,
+                dict(sorted(bus.stats.by_kind.items()))),
+        "lookups": (stats.n, stats.success_rate, stats.mean_latency_ms,
+                    stats.median_latency_ms, stats.mean_rpcs),
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+@pytest.mark.parametrize("loss", [0.0, 0.05])
+def test_kademlia_round_batching_bit_identical(seed, loss):
+    assert _run_kademlia(False, seed=seed, loss=loss) == _run_kademlia(
+        True, seed=seed, loss=loss
+    )
